@@ -1,0 +1,130 @@
+"""Section 3/4 — FPGA resource-utilization figures.
+
+The paper quotes V2VP30 slice utilization for its building blocks and
+for two full platforms: Microblaze 4 %, memory controller 2 %, private
+memory 1 %, custom bus 1 %, event-logging sniffer 0.2 %, count-logging
+sniffer 0.3 %, a 6-switch 4x4 NoC system ~70 %, the 4-processor bus
+MPSoC with sniffers 66 %, and the dithering NoC MPSoC 80 %.
+
+This bench regenerates those figures from the platform resource model
+and reports model-vs-paper side by side.
+"""
+
+import pytest
+
+from repro.core.sniffers import CountLoggingSniffer, EventLoggingSniffer
+from repro.mpsoc import MPSoCConfig, build_platform, generate_custom
+from repro.mpsoc.cache import CacheConfig
+from repro.mpsoc.noc import Noc
+from repro.mpsoc.platform import (
+    CoreConfig,
+    SLICE_COSTS,
+    V2VP30_SLICES,
+    switch_slices,
+)
+from repro.mpsoc.processor import CORE_SPECS
+from repro.util.records import Table
+from repro.util.units import KB, MB
+
+
+def paper_platform(num_cores=4, interconnect="bus", noc=None):
+    """The Section 7 four-processor configuration."""
+    return build_platform(
+        MPSoCConfig(
+            name="paper",
+            cores=[CoreConfig(f"cpu{i}") for i in range(num_cores)],
+            icache=CacheConfig(name="i", size=4 * KB, line_size=16),
+            dcache=CacheConfig(name="d", size=4 * KB, line_size=16),
+            private_mem_size=16 * KB,
+            shared_mem_size=1 * MB,
+            interconnect=interconnect,
+            noc=noc,
+        )
+    )
+
+
+def test_resource_building_blocks(benchmark, report):
+    table = Table(
+        ["building block", "paper", "model"],
+        title="FPGA utilization of the V2VP30 (13696 slices): building blocks",
+    )
+    rows = [
+        ("complete Microblaze", "4% (574 slices)",
+         f"{100 * CORE_SPECS['microblaze'].fpga_slices / V2VP30_SLICES:.1f}% "
+         f"({CORE_SPECS['microblaze'].fpga_slices} slices)"),
+        ("memory controller", "2%",
+         f"{100 * SLICE_COSTS['memctrl'] / V2VP30_SLICES:.1f}%"),
+        ("private main memory", "1%",
+         f"{100 * SLICE_COSTS['private_mem'] / V2VP30_SLICES:.1f}%"),
+        ("custom 32-bit bus", "1%",
+         f"{100 * SLICE_COSTS['bus_custom'] / V2VP30_SLICES:.1f}%"),
+        ("event-logging sniffer", "0.2%",
+         f"{100 * SLICE_COSTS['sniffer_event_logging'] / V2VP30_SLICES:.2f}%"),
+        ("count-logging sniffer", "0.3%",
+         f"{100 * SLICE_COSTS['sniffer_count_logging'] / V2VP30_SLICES:.2f}%"),
+    ]
+    for row in rows:
+        table.add_row(*row)
+    report("resources_building_blocks", str(table))
+
+    assert CORE_SPECS["microblaze"].fpga_slices == 574  # the paper's count
+    assert SLICE_COSTS["memctrl"] == pytest.approx(0.02 * V2VP30_SLICES, rel=0.01)
+    assert EventLoggingSniffer.fpga_overhead_percent == 0.2
+    assert CountLoggingSniffer.fpga_overhead_percent == 0.3
+
+    benchmark(paper_platform(4).resource_report, 0, 22)
+
+
+def test_resource_full_platforms(benchmark, report):
+    table = Table(
+        ["configuration", "paper", "model"],
+        title="FPGA utilization: full platforms",
+    )
+    # 4-processor bus MPSoC with sniffers (the paper's 66% platform; it
+    # mixes one PowerPC hard core with three Microblazes).
+    bus_platform = build_platform(
+        MPSoCConfig(
+            name="p66",
+            cores=[CoreConfig("ppc0", spec="ppc405")]
+            + [CoreConfig(f"mb{i}") for i in range(3)],
+            icache=CacheConfig(name="i", size=4 * KB, line_size=16),
+            dcache=CacheConfig(name="d", size=4 * KB, line_size=16),
+            private_mem_size=16 * KB,
+            shared_mem_size=1 * MB,
+        )
+    )
+    components = sum(1 for _ in bus_platform.components())
+    bus_report = bus_platform.resource_report(num_count_sniffers=components)
+    table.add_row("4-proc bus MPSoC + sniffers", "66%",
+                  f"{bus_report['percent']:.0f}%")
+
+    # Dithering NoC MPSoC (2 switches): the paper's 80% platform.
+    noc2 = paper_platform(
+        4, interconnect="noc",
+        noc=generate_custom("noc2", 2, ring=False, buffer_flits=3),
+    )
+    noc2_report = noc2.resource_report(
+        num_count_sniffers=sum(1 for _ in noc2.components())
+    )
+    table.add_row("4-proc NoC MPSoC (2 switches)", "80%",
+                  f"{noc2_report['percent']:.0f}%")
+
+    # The 6-switch 4x4 NoC system of Section 3.3 (~70% quoted for the
+    # NoC-based system).
+    noc6_cfg = generate_custom("noc6", 6, buffer_flits=3)
+    noc6 = Noc(noc6_cfg)
+    total = 0
+    for switch in noc6_cfg.switches:
+        total += switch_slices(4, 4, 3)
+    table.add_row("6x (4x4, 3-buffer) switches alone", "~70% (system)",
+                  f"{100 * total / V2VP30_SLICES:.0f}%")
+    report("resources_full_platforms", str(table))
+
+    # Model-vs-paper within ~15 points (it is a linear slice model).
+    assert bus_report["percent"] == pytest.approx(66, abs=12)
+    assert noc2_report["percent"] == pytest.approx(80, abs=15)
+    assert 100 * total / V2VP30_SLICES == pytest.approx(70, abs=15)
+    # And the NoC platform must cost more than the bus platform.
+    assert noc2_report["total"] > bus_report["total"]
+
+    benchmark(noc2.resource_report, 0, 24)

@@ -1,0 +1,26 @@
+"""Shared benchmark fixtures: the results directory and report helper."""
+
+import pathlib
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    """benchmarks/results/ — where every bench writes its regenerated
+    table or figure as plain text (EXPERIMENTS.md embeds these)."""
+    path = pathlib.Path(__file__).parent / "results"
+    path.mkdir(exist_ok=True)
+    return path
+
+
+@pytest.fixture()
+def report(results_dir):
+    """report(name, text): print to the terminal and persist to disk."""
+
+    def _report(name, text):
+        print()
+        print(text)
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+
+    return _report

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Run-time thermal management: the Figure 6 experiment, scaled down.
+
+Profiles the MATRIX kernel cycle-accurately on a 4x ARM11 platform at
+500 MHz, then replays a long thermal-stress run (MATRIX-TM) twice:
+unmanaged, and under the paper's dual-threshold DFS policy (scale to
+100 MHz above 350 K, back to 500 MHz below 340 K).  Prints both
+temperature traces as ASCII charts and the management summary.
+
+Run:  python examples/thermal_management.py [--seconds 30]
+"""
+
+import argparse
+
+from repro import (
+    CacheConfig,
+    CoreConfig,
+    DualThresholdDfsPolicy,
+    EmulationFramework,
+    FrameworkConfig,
+    MPSoCConfig,
+    NoManagementPolicy,
+    PowerModel,
+    ProfiledWorkload,
+    StopGoPolicy,
+    build_platform,
+    floorplan_4xarm11,
+    matrix_programs,
+    profile_platform_run,
+)
+from repro.util.units import KB, MHZ
+
+
+def build_arm11_platform():
+    return build_platform(
+        MPSoCConfig(
+            name="matrix-tm",
+            cores=[
+                CoreConfig(f"cpu{i}", spec="arm11", frequency_hz=500 * MHZ)
+                for i in range(4)
+            ],
+            icache=CacheConfig(name="icache", size=8 * KB, line_size=16),
+            dcache=CacheConfig(name="dcache", size=8 * KB, line_size=16, assoc=2),
+            private_mem_size=32 * KB,
+            shared_mem_size=32 * KB,
+        )
+    )
+
+
+def run_policy(profile, iterations, policy, horizon_s):
+    framework = EmulationFramework(
+        platform=None,
+        floorplan=floorplan_4xarm11(),
+        workload=ProfiledWorkload(profile, total_iterations=iterations),
+        policy=policy,
+        config=FrameworkConfig(virtual_hz=500 * MHZ),
+    )
+    report = framework.run(max_emulated_seconds=horizon_s)
+    return framework, report
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seconds", type=float, default=30.0,
+                        help="emulated seconds of stress at full speed")
+    args = parser.parse_args()
+
+    print("Profiling one MATRIX iteration cycle-accurately...")
+    platform = build_arm11_platform()
+    platform.load_program_all(matrix_programs(4, n=16, iterations=1))
+    power_model = PowerModel(floorplan_4xarm11())
+    profile = profile_platform_run(platform, power_model, iterations=1,
+                                   name="matrix")
+    print(f"  {profile.cycles_per_iteration:.0f} cycles per iteration, "
+          f"core utilization "
+          f"{profile.utilization[('core', 0)] * 100:.0f}%\n")
+
+    iterations = int(args.seconds * 500e6 / profile.cycles_per_iteration)
+    horizon = args.seconds * 6  # DFS runs slower; give it room to finish
+    policies = [
+        ("no management", NoManagementPolicy()),
+        ("dual-threshold DFS 350/340 K", DualThresholdDfsPolicy(500 * MHZ, 100 * MHZ)),
+        ("stop-go clock gating", StopGoPolicy(run_hz=500 * MHZ)),
+    ]
+    for label, policy in policies:
+        framework, report = run_policy(profile, iterations, policy, horizon)
+        print("=" * 74)
+        print(f"Policy: {label}")
+        print(
+            f"  peak {report.peak_temperature_k:.1f} K | "
+            f"final {report.final_temperature_k:.1f} K | "
+            f"emulated {report.emulated_seconds:.1f} s | "
+            f"board {report.fpga_real_seconds:.1f} s | "
+            f"DFS switches {report.frequency_transitions}"
+        )
+        if report.frequency_transitions:
+            duty = framework.trace.duty_cycle(100 * MHZ)
+            gated = framework.trace.duty_cycle(0.0)
+            print(f"  time at 100 MHz: {duty * 100:.0f}%  |  gated: {gated * 100:.0f}%")
+        print(framework.trace.ascii_chart(width=66, height=12))
+        crossings = framework.sensors.crossings()
+        if crossings:
+            first = crossings[0]
+            print(f"  first threshold crossing: {first[1]} at {first[0]:.2f} s "
+                  f"({first[3]:.1f} K)")
+
+
+if __name__ == "__main__":
+    main()

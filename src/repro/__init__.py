@@ -1,0 +1,131 @@
+"""repro — a HW/SW FPGA-based thermal emulation framework for MPSoC.
+
+A faithful, executable reproduction of Atienza et al., *"A Fast HW/SW
+FPGA-Based Thermal Emulation Framework for Multi-Processor
+System-on-Chip"* (DAC 2006): an emulated MPSoC platform (cores, caches,
+memories, buses, NoCs) with a transparent statistics-extraction fabric,
+a Virtual Platform Clock Manager, an Ethernet statistics link, an RC
+thermal model with non-linear silicon conductivity, and the closed
+co-emulation loop that lets run-time thermal-management policies (DFS)
+act on live temperatures.
+
+Quick start::
+
+    from repro import (MPSoCConfig, CoreConfig, CacheConfig, build_platform,
+                       matrix_programs, floorplan_4xarm11,
+                       EmulationFramework, DualThresholdDfsPolicy)
+
+    platform = build_platform(MPSoCConfig(
+        name="demo",
+        cores=[CoreConfig(f"cpu{i}", spec="arm11") for i in range(4)],
+        icache=CacheConfig(name="i", size=8192, line_size=16),
+        dcache=CacheConfig(name="d", size=8192, line_size=16, assoc=2),
+    ))
+    platform.load_program_all(matrix_programs(4, n=8))
+    framework = EmulationFramework(platform, floorplan_4xarm11(),
+                                   policy=DualThresholdDfsPolicy())
+    report = framework.run(max_emulated_seconds=1.0)
+
+See DESIGN.md for the paper-to-module map and EXPERIMENTS.md for the
+reproduced tables and figures.
+"""
+
+from repro.core import (
+    ActivityProfile,
+    DirectWorkload,
+    DualThresholdDfsPolicy,
+    EmulationFlow,
+    EmulationFramework,
+    FrameworkConfig,
+    NoManagementPolicy,
+    PerCoreDfsPolicy,
+    ProfiledWorkload,
+    SnifferBank,
+    StopGoPolicy,
+    SynthesisModel,
+    ThermalTrace,
+    Vpcm,
+    profile_platform_run,
+)
+from repro.mpsoc import (
+    BusConfig,
+    CacheConfig,
+    MemoryConfig,
+    MPSoCConfig,
+    NocConfig,
+    Program,
+    assemble,
+    build_platform,
+    generate_custom,
+    generate_mesh,
+)
+from repro.mpsoc.platform import CoreConfig
+from repro.power import DEFAULT_LIBRARY, PowerClass, PowerLibrary, PowerModel
+from repro.thermal import (
+    Floorplan,
+    FloorplanComponent,
+    RCNetwork,
+    SensorBank,
+    ThermalProperties,
+    ThermalSolver,
+    build_grid,
+    floorplan_4xarm7,
+    floorplan_4xarm11,
+)
+from repro.workloads import (
+    dithering_programs,
+    golden_dither,
+    load_images,
+    matrix_programs,
+    read_image,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ActivityProfile",
+    "BusConfig",
+    "CacheConfig",
+    "CoreConfig",
+    "DEFAULT_LIBRARY",
+    "DirectWorkload",
+    "DualThresholdDfsPolicy",
+    "EmulationFlow",
+    "EmulationFramework",
+    "Floorplan",
+    "FloorplanComponent",
+    "FrameworkConfig",
+    "MemoryConfig",
+    "MPSoCConfig",
+    "NoManagementPolicy",
+    "NocConfig",
+    "PerCoreDfsPolicy",
+    "PowerClass",
+    "PowerLibrary",
+    "PowerModel",
+    "ProfiledWorkload",
+    "Program",
+    "RCNetwork",
+    "SensorBank",
+    "SnifferBank",
+    "StopGoPolicy",
+    "SynthesisModel",
+    "ThermalProperties",
+    "ThermalSolver",
+    "ThermalTrace",
+    "Vpcm",
+    "assemble",
+    "build_grid",
+    "build_platform",
+    "dithering_programs",
+    "floorplan_4xarm7",
+    "floorplan_4xarm11",
+    "generate_custom",
+    "generate_mesh",
+    "golden_dither",
+    "load_images",
+    "matrix_programs",
+    "profile_platform_run",
+    "read_image",
+    "__version__",
+]

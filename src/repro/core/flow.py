@@ -1,0 +1,133 @@
+"""The complete HW/SW design flow of Figure 5.
+
+Three phases:
+
+1. **HW/SW definition** — the user picks an :class:`MPSoCConfig` (cores,
+   hierarchy, interconnect, sniffers) and the driver applications; the
+   synthesis-time model estimates the EDK build the paper reports
+   (10-12 hours for a complex 8-processor MPSoC, under one hour for a
+   resynthesis, minutes per extra application).
+2. **Floorplan definition** — the floorplan, the technology's
+   energy/frequency values, the temperature-update granularity and the
+   FPGA-host communication parameters are fixed.
+3. **Run** — the bitstream is "uploaded" (resource check against the
+   V2VP30) and the autonomous co-emulation loop starts.
+"""
+
+from dataclasses import dataclass
+
+from repro.core.framework import EmulationFramework, FrameworkConfig
+from repro.mpsoc.platform import build_platform
+
+HOURS = 3600.0
+MINUTES = 60.0
+
+
+@dataclass
+class SynthesisModel:
+    """Wall-clock model of the EDK synthesis/compilation phase.
+
+    Calibrated to Section 6: a complex MPSoC with 8 processors and 20
+    additional HW modules takes 10-12 hours to synthesize; a resynthesis
+    after core reconfiguration takes under an hour; compiling an extra
+    application takes a few minutes.
+    """
+
+    base_hours: float = 3.0
+    hours_per_processor: float = 0.6
+    hours_per_module: float = 0.16
+    resynthesis_hours: float = 0.75
+    app_compile_minutes: float = 3.0
+
+    def full_synthesis_seconds(self, num_processors, num_modules):
+        hours = (
+            self.base_hours
+            + self.hours_per_processor * num_processors
+            + self.hours_per_module * num_modules
+        )
+        return hours * HOURS
+
+    def resynthesis_seconds(self):
+        return self.resynthesis_hours * HOURS
+
+    def application_compile_seconds(self, num_applications=1):
+        return self.app_compile_minutes * MINUTES * num_applications
+
+
+class FlowError(RuntimeError):
+    """Raised when flow phases are used out of order or the design does
+    not fit the FPGA."""
+
+
+class EmulationFlow:
+    """Drives the three Figure 5 phases in order."""
+
+    def __init__(self, synthesis_model=None):
+        self.synthesis = synthesis_model or SynthesisModel()
+        self.platform = None
+        self.programs = None
+        self.floorplan = None
+        self.framework_config = None
+        self.build_log = []
+
+    # -- phase 1: HW/SW definition ----------------------------------------------
+    def define_hw(self, mpsoc_config, programs=None, num_extra_modules=None):
+        """Instantiate the platform and estimate the synthesis time."""
+        self.platform = build_platform(mpsoc_config)
+        self.programs = programs
+        modules = (
+            num_extra_modules
+            if num_extra_modules is not None
+            else 3 * len(self.platform.cores)  # ctrl + I$ + D$ per core
+        )
+        synth = self.synthesis.full_synthesis_seconds(
+            len(self.platform.cores), modules
+        )
+        self.build_log.append(("synthesis", synth))
+        if programs is not None:
+            compile_s = self.synthesis.application_compile_seconds(len(programs))
+            self.build_log.append(("application-compile", compile_s))
+            self.platform.load_program_all(programs)
+        return self
+
+    # -- phase 2: floorplan / technology definition ---------------------------------
+    def define_floorplan(self, floorplan, framework_config=None):
+        if self.platform is None:
+            raise FlowError("define_hw must run before define_floorplan")
+        self.floorplan = floorplan
+        self.framework_config = framework_config or FrameworkConfig()
+        return self
+
+    # -- phase 3: upload + autonomous run -----------------------------------------
+    def upload(self, num_count_sniffers=None):
+        """Check the design against the FPGA's capacity (JTAG upload)."""
+        if self.floorplan is None:
+            raise FlowError("define_floorplan must run before upload")
+        sniffers = (
+            num_count_sniffers
+            if num_count_sniffers is not None
+            else sum(1 for _ in self.platform.components())
+        )
+        report = self.platform.resource_report(num_count_sniffers=sniffers)
+        if report["percent"] > 100.0:
+            raise FlowError(
+                f"design needs {report['percent']:.0f}% of the FPGA "
+                f"({report['total']} slices) — does not fit"
+            )
+        self.build_log.append(("upload", 60.0))  # JTAG programming
+        return report
+
+    def launch(self, workload=None, policy=None):
+        """Build the wired :class:`EmulationFramework`, ready to run."""
+        if self.floorplan is None:
+            raise FlowError("define_floorplan must run before launch")
+        return EmulationFramework(
+            platform=self.platform,
+            floorplan=self.floorplan,
+            workload=workload,
+            policy=policy,
+            config=self.framework_config,
+        )
+
+    def total_build_seconds(self):
+        return sum(seconds for _, seconds in self.build_log)

@@ -1,0 +1,214 @@
+"""The HW/SW co-emulation framework (Sections 4-6, Figure 5).
+
+``EmulationFramework`` owns one emulated platform, its statistics
+fabric, the VPCM, the Ethernet dispatcher and the SW thermal tool, and
+runs the paper's closed loop: every sampling period (10 ms of emulated
+time by default) the window's activity statistics are converted to
+power, streamed to the thermal solver, integrated into new cell
+temperatures, fed back to the temperature sensors, and acted upon by the
+run-time thermal-management policy through the VPCM.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.core.dispatcher import BramBuffer, EthernetDispatcher
+from repro.core.sniffers import SnifferBank
+from repro.core.stats import ThermalTrace, TraceSample
+from repro.core.thermal_manager import NoManagementPolicy
+from repro.core.vpcm import FREEZE_ETHERNET, Vpcm
+from repro.core.workload_model import DirectWorkload
+from repro.emulation.ethernet import EthernetLink
+from repro.power.models import PowerModel
+from repro.thermal.grid import build_grid
+from repro.thermal.rc_network import RCNetwork
+from repro.thermal.sensors import SensorBank
+from repro.thermal.solver import ThermalSolver
+from repro.util.units import MHZ, MS
+
+
+@dataclass
+class FrameworkConfig:
+    """Knobs of the co-emulation loop (the Figure 5 "floorplan definition"
+    phase fixes these before launch)."""
+
+    sampling_period_s: float = 10 * MS  # granularity of temperature updates
+    virtual_hz: float = 100 * MHZ  # initial emulated clock
+    physical_hz: float = 100 * MHZ  # board oscillator
+    sensor_upper_kelvin: float = 350.0
+    sensor_lower_kelvin: float = 340.0
+    monitored_components: tuple = None  # default: every active component
+    grid_mode: str = "component"
+    refine_critical: int = 1
+    spreader_resolution: tuple = (3, 3)
+    ethernet_bandwidth_bps: float = 100e6
+    bram_capacity_bytes: int = 64 * 1024
+    initial_temperature_kelvin: float = None  # default: ambient
+
+    def __post_init__(self):
+        if self.sampling_period_s <= 0:
+            raise ValueError("sampling period must be positive")
+        if self.virtual_hz <= 0:
+            raise ValueError("initial virtual frequency must be positive")
+
+
+@dataclass
+class RunReport:
+    """Summary of one co-emulation run."""
+
+    emulated_seconds: float
+    fpga_real_seconds: float
+    windows: int
+    workload_done: bool
+    peak_temperature_k: float
+    final_temperature_k: float
+    freeze_breakdown: dict
+    frequency_transitions: int
+    dispatcher: dict
+    instructions: float = 0.0
+    extras: dict = field(default_factory=dict)
+
+
+class EmulationFramework:
+    """One fully wired HW/SW co-emulation instance."""
+
+    def __init__(
+        self,
+        platform,
+        floorplan,
+        workload=None,
+        policy=None,
+        config=None,
+        library=None,
+    ):
+        self.config = config or FrameworkConfig()
+        self.platform = platform
+        self.floorplan = floorplan
+        self.power_model = PowerModel(floorplan, library)
+        self.policy = policy or NoManagementPolicy()
+        cfg = self.config
+
+        self.vpcm = Vpcm(physical_hz=cfg.physical_hz, virtual_hz=cfg.virtual_hz)
+        if platform is not None:
+            self.vpcm.attach_platform(platform)
+            self.sniffer_bank = SnifferBank.from_platform(platform)
+        else:
+            self.sniffer_bank = SnifferBank()
+
+        self.dispatcher = EthernetDispatcher(
+            link=EthernetLink(bandwidth_bps=cfg.ethernet_bandwidth_bps),
+            buffer=BramBuffer(capacity_bytes=cfg.bram_capacity_bytes),
+        )
+
+        grid = build_grid(
+            floorplan,
+            mode=cfg.grid_mode,
+            refine_critical=cfg.refine_critical,
+            spreader_resolution=cfg.spreader_resolution,
+        )
+        self.grid = grid
+        self.network = RCNetwork(grid)
+        self.solver = ThermalSolver(
+            self.network, initial_temperature=cfg.initial_temperature_kelvin
+        )
+
+        monitored = cfg.monitored_components
+        if monitored is None:
+            monitored = [c.name for c in floorplan.active_components()]
+        self.sensors = SensorBank(
+            monitored,
+            upper_kelvin=cfg.sensor_upper_kelvin,
+            lower_kelvin=cfg.sensor_lower_kelvin,
+        )
+
+        if workload is None:
+            if platform is None:
+                raise ValueError("need a workload when no platform is given")
+            workload = DirectWorkload(platform, self.power_model)
+        self.workload = workload
+        self.trace = ThermalTrace()
+        self.windows = 0
+
+    # -- the closed loop ---------------------------------------------------------
+    def step_window(self):
+        """Run exactly one sampling window of the co-emulation loop."""
+        cfg = self.config
+        period = cfg.sampling_period_s
+        frequency = self.vpcm.virtual_hz
+
+        # 1. The emulated platform runs one window while the sniffers count.
+        window_cycles = self.vpcm.window_cycles(period)
+        core_frequencies = self.policy.core_frequencies()
+        progress_cycles = window_cycles
+        if core_frequencies and frequency > 0:
+            # Per-core DFS: throttled cores make proportionally less
+            # progress even though the fabric keeps the global clock.
+            mean_hz = sum(core_frequencies.values()) / len(core_frequencies)
+            progress_cycles = int(window_cycles * min(1.0, mean_hz / frequency))
+        activity = self.workload.advance(progress_cycles)
+
+        # 2. Activity -> power (per floorplan component).
+        powers = self.power_model.component_power(
+            activity,
+            frequency_hz=frequency if frequency > 0 else 0.0,
+            core_frequencies=core_frequencies,
+        )
+
+        # 3. Statistics stream to the host; congestion freezes the clocks.
+        payload = self.sniffer_bank.window_payload_bytes()
+        self.sniffer_bank.collect_window()
+        real_window = self.vpcm.window_real_seconds(period)
+        freeze = self.dispatcher.dispatch_window(
+            payload, real_window, num_sensors=len(self.sensors.sensors)
+        )
+        if freeze > 0:
+            self.vpcm.freeze_seconds(freeze, FREEZE_ETHERNET)
+
+        # 4. The SW thermal tool integrates one sampling period.
+        self.network.set_power(powers)
+        self.solver.step_be(period)
+        temps = self.solver.component_temperatures()
+
+        # 5. Temperatures return to the sensors; the policy reacts via VPCM.
+        self.vpcm.account_window(period)
+        now = self.vpcm.emulated_seconds
+        transitions = self.sensors.update(temps, now)
+        self.policy.react(self.sensors, self.vpcm, now)
+
+        sample = TraceSample(
+            time_s=now,
+            frequency_hz=frequency,
+            total_power_w=sum(powers.values()),
+            max_temp_k=max(temps.values()),
+            component_temps=temps,
+            events=tuple(sorted(transitions.items())),
+        )
+        self.trace.append(sample)
+        self.windows += 1
+        return sample
+
+    def run(self, max_emulated_seconds=None, max_windows=None):
+        """Run until the workload completes (or a bound is hit)."""
+        while not self.workload.done:
+            if (
+                max_emulated_seconds is not None
+                and self.vpcm.emulated_seconds >= max_emulated_seconds - 1e-12
+            ):
+                break
+            if max_windows is not None and self.windows >= max_windows:
+                break
+            self.step_window()
+        return self.report()
+
+    def report(self):
+        return RunReport(
+            emulated_seconds=self.vpcm.emulated_seconds,
+            fpga_real_seconds=self.vpcm.real_seconds,
+            windows=self.windows,
+            workload_done=self.workload.done,
+            peak_temperature_k=self.trace.peak_temperature(),
+            final_temperature_k=self.trace.final_temperature(),
+            freeze_breakdown=dict(self.vpcm.freezes),
+            frequency_transitions=len(self.vpcm.transitions),
+            dispatcher=self.dispatcher.stats(),
+            instructions=getattr(self.workload, "instructions", 0.0),
+        )

@@ -1,0 +1,123 @@
+"""Workload execution models for the co-emulation loop.
+
+Two ways to produce per-window activity:
+
+* :class:`DirectWorkload` — actually run the emulated cores
+  (cycle-accurate, instruction by instruction) for every sampling
+  window.  This is what the FPGA does, and what we use for short runs,
+  tests and examples.
+* :class:`ProfiledWorkload` — replay a measured per-iteration activity
+  profile.  The paper's thermal drivers are homogeneous kernels (100 K
+  identical matrix iterations), so one cycle-accurate iteration
+  characterizes the stream; long runs then scale the profile instead of
+  interpreting 10^11 instructions (DESIGN.md documents this
+  substitution).  DFS still slows *progress* naturally: a window at
+  100 MHz contains 5x fewer cycles, hence 5x fewer iterations, than one
+  at 500 MHz.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.core.stats import diff_stats
+from repro.emulation.engine import EventDrivenEngine
+from repro.power.models import ActivityVector
+
+
+@dataclass
+class ActivityProfile:
+    """Steady-state activity signature of one workload iteration."""
+
+    name: str
+    cycles_per_iteration: float
+    utilization: dict = field(default_factory=dict)
+    instructions_per_iteration: float = 0.0
+
+    def __post_init__(self):
+        if self.cycles_per_iteration <= 0:
+            raise ValueError(f"{self.name}: cycles per iteration must be positive")
+
+    def scaled(self, busy_fraction):
+        """Utilizations scaled by the fraction of a window spent busy."""
+        return {k: v * busy_fraction for k, v in self.utilization.items()}
+
+
+class DirectWorkload:
+    """Run the platform's cores for real, window by window."""
+
+    def __init__(self, platform, power_model):
+        self.platform = platform
+        self.power_model = power_model
+        self.engine = EventDrivenEngine(platform)
+        self._horizon = 0
+        self._last_stats = platform.stats()
+        self.instructions = 0
+
+    @property
+    def done(self):
+        return self.engine.all_halted
+
+    def advance(self, window_cycles):
+        """Run one window; returns its :class:`ActivityVector`."""
+        if window_cycles < 0:
+            raise ValueError("negative window")
+        self._horizon += window_cycles
+        self.instructions += self.engine.run_window(self._horizon)
+        stats = self.platform.stats()
+        delta = diff_stats(stats, self._last_stats)
+        self._last_stats = stats
+        return self.power_model.activity_from_stats(delta, window_cycles)
+
+
+class ProfiledWorkload:
+    """Replay a measured :class:`ActivityProfile` for N iterations."""
+
+    def __init__(self, profile, total_iterations):
+        if total_iterations <= 0:
+            raise ValueError("need at least one iteration")
+        self.profile = profile
+        self.total_iterations = float(total_iterations)
+        self.remaining = float(total_iterations)
+        self.instructions = 0.0
+
+    @property
+    def done(self):
+        return self.remaining <= 1e-12
+
+    @property
+    def completed_iterations(self):
+        return self.total_iterations - self.remaining
+
+    def advance(self, window_cycles):
+        activity = ActivityVector(window_cycles)
+        if window_cycles <= 0 or self.done:
+            return activity
+        possible = window_cycles / self.profile.cycles_per_iteration
+        executed = min(self.remaining, possible)
+        busy_fraction = executed / possible
+        self.remaining -= executed
+        self.instructions += executed * self.profile.instructions_per_iteration
+        for source, value in self.profile.scaled(busy_fraction).items():
+            activity.set(source, value)
+        return activity
+
+
+def profile_platform_run(platform, power_model, iterations=1, name="workload",
+                         max_instructions=None):
+    """Measure an :class:`ActivityProfile` from a cycle-accurate run.
+
+    The platform must have its programs loaded; this runs every core to
+    completion, extracts whole-run utilizations and divides the finish
+    cycle by ``iterations`` (the number of kernel iterations the loaded
+    program performs).
+    """
+    engine = EventDrivenEngine(platform)
+    before = platform.stats()
+    executed, end_cycle = engine.run_to_completion(max_instructions=max_instructions)
+    delta = diff_stats(platform.stats(), before)
+    activity = power_model.activity_from_stats(delta, end_cycle)
+    return ActivityProfile(
+        name=name,
+        cycles_per_iteration=end_cycle / iterations,
+        utilization=dict(activity.utilization),
+        instructions_per_iteration=executed / iterations,
+    )

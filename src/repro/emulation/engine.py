@@ -1,0 +1,89 @@
+"""Event-driven MPSoC execution engine (the FPGA's stand-in).
+
+Cores are interleaved in global virtual-time order: the engine always
+steps the core with the smallest local clock, so accesses to shared
+resources (bus, NoC links, shared-memory port) are issued in causal
+order and the busy-until bookkeeping inside those models yields correct
+contention.  This is conservative discrete-event simulation with zero
+lookahead — the fast vehicle that lets the framework skip idle cycles,
+which is exactly why FPGA emulation (and this engine) beats a
+signal-level simulator that must evaluate every component every cycle.
+"""
+
+import heapq
+
+
+class EventDrivenEngine:
+    """Runs all cores of a :class:`repro.mpsoc.platform.Platform`."""
+
+    def __init__(self, platform):
+        self.platform = platform
+        self.instructions_executed = 0
+
+    def run_window(self, until_cycle, max_instructions=None, idle_to_boundary=True):
+        """Run every core up to ``until_cycle`` (local virtual time).
+
+        Halted cores idle to the window boundary so their idle cycles are
+        accounted (the sniffers report active/stalled/idle splits).
+        Returns the number of instructions executed in this window.
+        """
+        heap = []
+        for core in self.platform.cores:
+            if not core.halted and core.cycle < until_cycle:
+                heapq.heappush(heap, (core.cycle, id(core), core))
+        executed = 0
+        budget = max_instructions
+        while heap:
+            cycle, _, core = heapq.heappop(heap)
+            if core.halted or core.cycle >= until_cycle:
+                continue
+            # Run this core while it remains the globally earliest one:
+            # accesses it issues cannot be overtaken by any other core.
+            next_cycle = heap[0][0] if heap else until_cycle
+            horizon = min(until_cycle, next_cycle)
+            while core.cycle <= horizon and not core.halted:
+                if core.cycle >= until_cycle:
+                    break
+                core.step()
+                executed += 1
+                if budget is not None:
+                    budget -= 1
+                    if budget <= 0:
+                        if idle_to_boundary:
+                            self._idle_stragglers(until_cycle)
+                        self.instructions_executed += executed
+                        return executed
+            if not core.halted and core.cycle < until_cycle:
+                heapq.heappush(heap, (core.cycle, id(core), core))
+        if idle_to_boundary:
+            self._idle_stragglers(until_cycle)
+        self.instructions_executed += executed
+        return executed
+
+    def _idle_stragglers(self, until_cycle):
+        for core in self.platform.cores:
+            if core.halted and core.cycle < until_cycle:
+                core.idle_until(until_cycle)
+
+    def run_to_completion(self, max_cycles=10**12, max_instructions=None):
+        """Run until every core halts; returns (instructions, end_cycle).
+
+        ``max_cycles`` bounds runaway programs; the end cycle is the
+        largest local clock among the cores (the platform finish time).
+        """
+        executed = self.run_window(
+            max_cycles, max_instructions, idle_to_boundary=False
+        )
+        if any(not core.halted for core in self.platform.cores):
+            raise RuntimeError(
+                "engine budget exhausted before all cores halted "
+                f"(executed {executed} instructions)"
+            )
+        end_cycle = max(core.cycle for core in self.platform.cores)
+        # Align the early finishers: they idle until the platform is done.
+        self._idle_stragglers(end_cycle)
+        return executed, end_cycle
+
+    @property
+    def all_halted(self):
+        return all(core.halted for core in self.platform.cores)

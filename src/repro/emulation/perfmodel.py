@@ -1,0 +1,174 @@
+"""Calibrated wall-clock models: FPGA emulator vs MPARM-class simulator.
+
+Table 3's experiment compares the same workloads on (a) the FPGA
+emulation framework and (b) the MPARM cycle-accurate SystemC simulator
+on a 3 GHz Pentium 4.  We cannot run either, so this module models both
+platforms' wall-clock from first principles, calibrated against the
+paper's own six published rows:
+
+* **Emulator**: executes one virtual cycle per 100 MHz board cycle
+  regardless of system size (all components are real parallel hardware),
+  stretched only by VPCM freezes.  This is why its Table 3 column is
+  flat.
+* **MPARM-class simulator**: host seconds per simulated cycle grow as a
+  power law in the number of monitored components (every component's
+  signals are evaluated every cycle; per-core modules are part of the
+  component count), with multipliers for interconnect-bound workloads
+  (more signal activity per cycle — the paper blames exactly this for
+  the dithering rows), for flit-level NoC switches, and for co-simulated
+  SW thermal modelling:
+
+      cost(s/cycle) = c * components^p * (1 + s*switches)
+                        * io_mult^[io-bound] * thermal_mult^[thermal]
+
+  ``fit_mparm_model`` derives (c, p) from the three MATRIX rows and each
+  multiplier from the row that isolates it; the Table 3 bench prints the
+  fit and its residuals.
+
+Known inconsistencies in the source data, reported as-is: the paper's
+MATRIX-TM row prints a 1612x speedup while its own wall-clocks
+(2 days vs 5'02") give 572x, and the Table 3 ratios imply a ~1 MHz
+single-core MPARM rate while the text quotes 120 kHz.  We calibrate
+against the printed per-row speedups.
+"""
+
+import math
+from dataclasses import dataclass, field
+
+from repro.util.units import MHZ
+
+# The six published rows: (name, cores, monitored components, noc switches,
+# io_bound?, thermal?, MPARM seconds, emulator seconds, printed speedup).
+TABLE3_ROWS = [
+    ("Matrix (one core)", 1, 7, 0, False, False, 106.0, 1.2, 88),
+    ("Matrix (4 cores)", 4, 22, 0, False, False, 323.0, 1.2, 269),
+    ("Matrix (8 cores)", 8, 42, 0, False, False, 797.0, 1.2, 664),
+    ("Dithering (4 cores-bus)", 4, 30, 0, True, False, 155.0, 0.18, 861),
+    ("Dithering (4 cores-NoC)", 4, 30, 2, True, False, 195.0, 0.17, 1147),
+    ("Matrix-TM (4 cores-NoC)", 4, 28, 4, False, True, 172800.0, 302.0, 1612),
+]
+
+
+@dataclass
+class EmulatorPerformanceModel:
+    """Wall-clock model of the FPGA side (Section 4.2 timing rules)."""
+
+    physical_hz: float = 100 * MHZ
+
+    def wall_seconds(self, virtual_cycles, virtual_hz=None, freeze_seconds=0.0):
+        """Board wall-clock for a run of ``virtual_cycles``.
+
+        One virtual cycle per physical cycle; emulating above the board
+        clock does not slow the board down (cycles are cycles) — it only
+        changes how the sampling windows are *interpreted*, so the wall
+        clock for a fixed virtual-cycle count is flat in ``virtual_hz``
+        and in system size.  Freezes (Ethernet congestion, memory
+        penalties) add on top.
+        """
+        if virtual_cycles < 0:
+            raise ValueError("negative cycle count")
+        return virtual_cycles / self.physical_hz + freeze_seconds
+
+    def rate_hz(self):
+        return self.physical_hz
+
+
+@dataclass
+class MparmPerformanceModel:
+    """Power-law cost model of an MPARM-class cycle-accurate simulator."""
+
+    c: float  # base seconds per simulated cycle (single component)
+    p: float  # component-count exponent
+    switch_coeff: float  # extra fraction per flit-level NoC switch
+    io_multiplier: float  # interconnect-bound workload factor
+    thermal_multiplier: float  # SW thermal co-simulation factor
+    fit_residuals: dict = field(default_factory=dict)
+
+    def seconds_per_cycle(
+        self, cores, components=None, noc_switches=0, io_bound=False, thermal=False
+    ):
+        """Host seconds per simulated cycle.
+
+        ``components`` defaults to the platform structure the paper's
+        configurations imply (five modules per core plus shared memory
+        and interconnect) when only ``cores`` is given.
+        """
+        if components is None:
+            components = 5 * cores + 2
+        cost = self.c * components**self.p * (1.0 + self.switch_coeff * noc_switches)
+        if io_bound:
+            cost *= self.io_multiplier
+        if thermal:
+            cost *= self.thermal_multiplier
+        return cost
+
+    def rate_hz(self, cores, components=None, noc_switches=0, io_bound=False,
+                thermal=False):
+        """Simulated cycles per host second for a configuration."""
+        return 1.0 / self.seconds_per_cycle(
+            cores, components, noc_switches, io_bound, thermal
+        )
+
+    def wall_seconds(self, virtual_cycles, cores, components=None, noc_switches=0,
+                     io_bound=False, thermal=False):
+        return virtual_cycles * self.seconds_per_cycle(
+            cores, components, noc_switches, io_bound, thermal
+        )
+
+
+def fit_mparm_model(physical_hz=100 * MHZ, rows=None):
+    """Calibrate the MPARM cost model from the paper's Table 3 rows.
+
+    Printed speedup = emulator rate x seconds per simulated cycle, so
+    each row's implied cost is ``speedup / physical_hz``.  The MATRIX
+    series (compute-bound, bus, no thermal) fixes the power law (c, p)
+    by least squares in log space; the dithering-bus row isolates the
+    interconnect-bound multiplier, the dithering-NoC row the per-switch
+    coefficient, and the MATRIX-TM row the thermal multiplier.
+    """
+    rows = TABLE3_ROWS if rows is None else rows
+    matrix_rows = [r for r in rows if not r[4] and not r[5] and r[3] == 0]
+    log_n = [math.log(r[2]) for r in matrix_rows]
+    log_cost = [math.log(r[8] / physical_hz) for r in matrix_rows]
+    n = len(matrix_rows)
+    mean_x = sum(log_n) / n
+    mean_y = sum(log_cost) / n
+    var = sum((x - mean_x) ** 2 for x in log_n)
+    p = sum((x - mean_x) * (y - mean_y) for x, y in zip(log_n, log_cost)) / var
+    c = math.exp(mean_y - p * mean_x)
+
+    model = MparmPerformanceModel(
+        c=c, p=p, switch_coeff=0.0, io_multiplier=1.0, thermal_multiplier=1.0
+    )
+
+    def _implied_cost(row):
+        return row[8] / physical_hz
+
+    for row in rows:
+        _, cores, comps, switches, io_bound, thermal, *_ = row
+        if io_bound and switches == 0:
+            base = model.seconds_per_cycle(cores, comps)
+            model.io_multiplier = max(1.0, _implied_cost(row) / base)
+    for row in rows:
+        _, cores, comps, switches, io_bound, thermal, *_ = row
+        if io_bound and switches > 0:
+            base = model.seconds_per_cycle(cores, comps, 0, io_bound=True)
+            ratio = _implied_cost(row) / base
+            model.switch_coeff = max(0.0, (ratio - 1.0) / switches)
+    for row in rows:
+        _, cores, comps, switches, io_bound, thermal, *_ = row
+        if thermal:
+            base = model.seconds_per_cycle(cores, comps, switches, io_bound)
+            model.thermal_multiplier = max(1.0, _implied_cost(row) / base)
+
+    residuals = {}
+    for name, cores, comps, switches, io_bound, thermal, _m, _e, speedup in rows:
+        predicted = physical_hz * model.seconds_per_cycle(
+            cores, comps, switches, io_bound, thermal
+        )
+        residuals[name] = (speedup, predicted, predicted / speedup - 1.0)
+    model.fit_residuals = residuals
+    return model
+
+
+DEFAULT_MPARM_MODEL = fit_mparm_model()

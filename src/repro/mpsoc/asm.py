@@ -1,0 +1,481 @@
+"""Two-pass assembler for the RISC-32 ISA.
+
+Supports ``.text``/``.data`` sections, labels, data directives
+(``.word``, ``.byte``, ``.space``, ``.align``), ``symbol+offset``
+expressions and a small set of pseudo-instructions (``li``, ``la``,
+``mv``, ``b``, ``bgt``, ``ble``, ``neg``, ``call``, ``ret``).
+
+The paper compiles its drivers with gcc from the Xilinx EDK; this
+assembler plays that role for our emulated cores (see DESIGN.md,
+substitution table).
+"""
+
+from dataclasses import dataclass, field
+
+from repro.mpsoc import isa
+from repro.mpsoc.isa import (
+    CLASS_LOAD,
+    CLASS_STORE,
+    FMT_B,
+    FMT_I,
+    FMT_J,
+    FMT_R,
+    IMM16_MAX,
+    IMM16_MIN,
+    Instruction,
+    OPS_BY_NAME,
+    UIMM16_MAX,
+)
+
+REGISTER_ALIASES = {"zero": 0, "ra": 31, "sp": 30}
+
+
+class AssemblyError(ValueError):
+    """Raised on any source-level assembly problem, with a line number."""
+
+    def __init__(self, message, line_no=None):
+        if line_no is not None:
+            message = f"line {line_no}: {message}"
+        super().__init__(message)
+        self.line_no = line_no
+
+
+@dataclass
+class Program:
+    """An assembled program ready to load into an emulated core's memory."""
+
+    code: list
+    data: bytes
+    text_base: int
+    data_base: int
+    symbols: dict
+    entry: int = 0
+    source_map: list = field(default_factory=list)
+
+    @property
+    def text_size(self):
+        """Size of the text section in bytes."""
+        return 4 * len(self.code)
+
+    @property
+    def data_size(self):
+        return len(self.data)
+
+    def disassemble(self):
+        """Return the decoded instruction list (for tests and debugging)."""
+        return [isa.decode(word) for word in self.code]
+
+
+def parse_register(token, line_no):
+    token = token.strip().lower()
+    if token in REGISTER_ALIASES:
+        return REGISTER_ALIASES[token]
+    if token.startswith("r") and token[1:].isdigit():
+        index = int(token[1:])
+        if 0 <= index < isa.NUM_REGISTERS:
+            return index
+    raise AssemblyError(f"bad register {token!r}", line_no)
+
+
+def _parse_int(token):
+    token = token.strip()
+    negative = token.startswith("-")
+    body = token[1:] if token[:1] in ("-", "+") else token
+    if body.lower().startswith("0x"):
+        value = int(body, 16)
+    elif body.isdigit():
+        value = int(body, 10)
+    else:
+        return None
+    return -value if negative else value
+
+
+@dataclass
+class _SymRef:
+    """A symbol reference with an additive offset, resolved in pass 2."""
+
+    name: str
+    offset: int = 0
+
+
+def _parse_operand_value(token, line_no):
+    """Parse an integer literal or a ``symbol[+-]offset`` expression."""
+    value = _parse_int(token)
+    if value is not None:
+        return value
+    token = token.strip()
+    for sep in ("+", "-"):
+        # Split on the last separator so 'tab+4' and 'tab-4' both work.
+        if sep in token[1:]:
+            idx = token.rindex(sep)
+            base, off = token[:idx], token[idx:]
+            off_val = _parse_int(off)
+            if off_val is not None and _is_identifier(base):
+                return _SymRef(base.strip(), off_val)
+    if _is_identifier(token):
+        return _SymRef(token)
+    raise AssemblyError(f"cannot parse operand {token!r}", line_no)
+
+
+def _is_identifier(token):
+    token = token.strip()
+    return bool(token) and (token[0].isalpha() or token[0] == "_") and all(
+        c.isalnum() or c == "_" for c in token
+    )
+
+
+@dataclass
+class _PendingInstr:
+    """An instruction awaiting symbol resolution."""
+
+    line_no: int
+    mnemonic: str
+    rd: int = 0
+    rs1: int = 0
+    rs2: int = 0
+    imm: object = 0  # int or _SymRef
+    imm_kind: str = "value"  # value | branch | jump | hi16 | lo16
+
+
+def _strip_comment(line):
+    for marker in ("#", ";", "//"):
+        pos = line.find(marker)
+        if pos >= 0:
+            line = line[:pos]
+    return line.strip()
+
+
+def _split_operands(rest):
+    return [tok.strip() for tok in rest.split(",")] if rest.strip() else []
+
+
+def _parse_mem_operand(token, line_no):
+    """Parse ``offset(rN)`` used by loads and stores."""
+    token = token.strip()
+    if token.endswith(")") and "(" in token:
+        open_idx = token.rindex("(")
+        offset_tok = token[:open_idx].strip() or "0"
+        reg_tok = token[open_idx + 1 : -1]
+        base = parse_register(reg_tok, line_no)
+        offset = _parse_operand_value(offset_tok, line_no)
+        return offset, base
+    # Bare symbol or literal: absolute address with r0 base.
+    return _parse_operand_value(token, line_no), 0
+
+
+class _Assembler:
+    def __init__(self, text_base, data_base):
+        self.text_base = text_base
+        self.data_base = data_base
+        self.instrs = []  # list of _PendingInstr
+        self.data = bytearray()
+        self.data_fixups = []  # (byte offset, _SymRef) for .word with symbols
+        self.symbols = {}
+        self.section = "text"
+        self.source_map = []
+
+    # -- pass 1 ------------------------------------------------------------
+    def feed(self, line, line_no):
+        line = _strip_comment(line)
+        if not line:
+            return
+        while True:
+            label, sep, rest = line.partition(":")
+            if sep and _is_identifier(label):
+                self._define_label(label.strip(), line_no)
+                line = rest.strip()
+                if not line:
+                    return
+            else:
+                break
+        if line.startswith("."):
+            self._directive(line, line_no)
+        else:
+            self._instruction(line, line_no)
+
+    def _define_label(self, name, line_no):
+        if name in self.symbols:
+            raise AssemblyError(f"duplicate label {name!r}", line_no)
+        if self.section == "text":
+            self.symbols[name] = ("text", len(self.instrs))
+        else:
+            self.symbols[name] = ("data", len(self.data))
+
+    def _directive(self, line, line_no):
+        parts = line.split(None, 1)
+        name = parts[0]
+        rest = parts[1] if len(parts) > 1 else ""
+        if name == ".text":
+            self.section = "text"
+        elif name == ".data":
+            self.section = "data"
+        elif name == ".word":
+            self._require_data(name, line_no)
+            for tok in _split_operands(rest):
+                value = _parse_operand_value(tok, line_no)
+                if isinstance(value, _SymRef):
+                    self.data_fixups.append((len(self.data), value))
+                    value = 0
+                self.data.extend(int(value & 0xFFFFFFFF).to_bytes(4, "little"))
+        elif name == ".byte":
+            self._require_data(name, line_no)
+            for tok in _split_operands(rest):
+                value = _parse_int(tok)
+                if value is None or not -128 <= value <= 255:
+                    raise AssemblyError(f"bad byte value {tok!r}", line_no)
+                self.data.append(value & 0xFF)
+        elif name == ".space":
+            self._require_data(name, line_no)
+            count = _parse_int(rest)
+            if count is None or count < 0:
+                raise AssemblyError(f"bad .space size {rest!r}", line_no)
+            self.data.extend(bytes(count))
+        elif name == ".align":
+            self._require_data(name, line_no)
+            boundary = _parse_int(rest)
+            if boundary is None or boundary <= 0:
+                raise AssemblyError(f"bad .align boundary {rest!r}", line_no)
+            while len(self.data) % boundary:
+                self.data.append(0)
+        else:
+            raise AssemblyError(f"unknown directive {name!r}", line_no)
+
+    def _require_data(self, directive, line_no):
+        if self.section != "data":
+            raise AssemblyError(f"{directive} outside .data section", line_no)
+
+    def _emit(self, pending):
+        self.instrs.append(pending)
+        self.source_map.append(pending.line_no)
+
+    def _instruction(self, line, line_no):
+        if self.section != "text":
+            raise AssemblyError("instruction outside .text section", line_no)
+        parts = line.split(None, 1)
+        mnemonic = parts[0].lower()
+        ops = _split_operands(parts[1]) if len(parts) > 1 else []
+        handler = getattr(self, f"_pseudo_{mnemonic}", None)
+        if handler is not None:
+            handler(ops, line_no)
+            return
+        spec = OPS_BY_NAME.get(mnemonic)
+        if spec is None:
+            raise AssemblyError(f"unknown instruction {mnemonic!r}", line_no)
+        self._concrete(spec, mnemonic, ops, line_no)
+
+    def _concrete(self, spec, mnemonic, ops, line_no):
+        p = _PendingInstr(line_no, mnemonic)
+        if spec.fmt == FMT_R:
+            if mnemonic in ("nop", "halt"):
+                self._expect(ops, 0, mnemonic, line_no)
+            elif mnemonic == "jr":
+                self._expect(ops, 1, mnemonic, line_no)
+                p.rs1 = parse_register(ops[0], line_no)
+            elif mnemonic == "jalr":
+                self._expect(ops, 2, mnemonic, line_no)
+                p.rd = parse_register(ops[0], line_no)
+                p.rs1 = parse_register(ops[1], line_no)
+            else:
+                self._expect(ops, 3, mnemonic, line_no)
+                p.rd = parse_register(ops[0], line_no)
+                p.rs1 = parse_register(ops[1], line_no)
+                p.rs2 = parse_register(ops[2], line_no)
+        elif spec.fmt == FMT_I:
+            if spec.cls in (CLASS_LOAD, CLASS_STORE):
+                self._expect(ops, 2, mnemonic, line_no)
+                p.rd = parse_register(ops[0], line_no)
+                p.imm, p.rs1 = _parse_mem_operand(ops[1], line_no)
+            elif mnemonic == "lui":
+                self._expect(ops, 2, mnemonic, line_no)
+                p.rd = parse_register(ops[0], line_no)
+                p.imm = _parse_operand_value(ops[1], line_no)
+            else:
+                self._expect(ops, 3, mnemonic, line_no)
+                p.rd = parse_register(ops[0], line_no)
+                p.rs1 = parse_register(ops[1], line_no)
+                p.imm = _parse_operand_value(ops[2], line_no)
+        elif spec.fmt == FMT_B:
+            self._expect(ops, 3, mnemonic, line_no)
+            p.rs1 = parse_register(ops[0], line_no)
+            p.rs2 = parse_register(ops[1], line_no)
+            p.imm = _parse_operand_value(ops[2], line_no)
+            p.imm_kind = "branch"
+        elif spec.fmt == FMT_J:
+            if mnemonic == "jal":
+                if len(ops) == 1:
+                    p.rd = 31
+                    target = ops[0]
+                else:
+                    self._expect(ops, 2, mnemonic, line_no)
+                    p.rd = parse_register(ops[0], line_no)
+                    target = ops[1]
+            else:
+                self._expect(ops, 1, mnemonic, line_no)
+                target = ops[0]
+            p.imm = _parse_operand_value(target, line_no)
+            p.imm_kind = "jump"
+        self._emit(p)
+
+    @staticmethod
+    def _expect(ops, count, mnemonic, line_no):
+        if len(ops) != count:
+            raise AssemblyError(
+                f"{mnemonic} expects {count} operand(s), got {len(ops)}", line_no
+            )
+
+    # -- pseudo-instructions -------------------------------------------------
+    def _pseudo_li(self, ops, line_no):
+        self._expect(ops, 2, "li", line_no)
+        rd = parse_register(ops[0], line_no)
+        value = _parse_int(ops[1])
+        if value is None:
+            raise AssemblyError(f"li needs a constant, got {ops[1]!r}", line_no)
+        value &= 0xFFFFFFFF
+        signed = isa.to_signed(value)
+        if IMM16_MIN <= signed <= IMM16_MAX:
+            self._emit(_PendingInstr(line_no, "addi", rd=rd, rs1=0, imm=signed))
+        elif 0 <= value <= UIMM16_MAX:
+            self._emit(_PendingInstr(line_no, "ori", rd=rd, rs1=0, imm=value))
+        else:
+            hi, lo = value >> 16, value & 0xFFFF
+            self._emit(_PendingInstr(line_no, "lui", rd=rd, imm=hi))
+            if lo:
+                self._emit(_PendingInstr(line_no, "ori", rd=rd, rs1=rd, imm=lo))
+
+    def _pseudo_la(self, ops, line_no):
+        self._expect(ops, 2, "la", line_no)
+        rd = parse_register(ops[0], line_no)
+        ref = _parse_operand_value(ops[1], line_no)
+        if not isinstance(ref, _SymRef):
+            # A plain constant: same as li.
+            self._pseudo_li([ops[0], ops[1]], line_no)
+            return
+        self._emit(_PendingInstr(line_no, "lui", rd=rd, imm=ref, imm_kind="hi16"))
+        self._emit(
+            _PendingInstr(line_no, "ori", rd=rd, rs1=rd, imm=ref, imm_kind="lo16")
+        )
+
+    def _pseudo_mv(self, ops, line_no):
+        self._expect(ops, 2, "mv", line_no)
+        rd = parse_register(ops[0], line_no)
+        rs = parse_register(ops[1], line_no)
+        self._emit(_PendingInstr(line_no, "addi", rd=rd, rs1=rs, imm=0))
+
+    def _pseudo_b(self, ops, line_no):
+        self._expect(ops, 1, "b", line_no)
+        target = _parse_operand_value(ops[0], line_no)
+        self._emit(_PendingInstr(line_no, "beq", imm=target, imm_kind="branch"))
+
+    def _pseudo_bgt(self, ops, line_no):
+        # bgt a, b, t  ==  blt b, a, t
+        self._expect(ops, 3, "bgt", line_no)
+        rs1 = parse_register(ops[0], line_no)
+        rs2 = parse_register(ops[1], line_no)
+        target = _parse_operand_value(ops[2], line_no)
+        self._emit(
+            _PendingInstr(
+                line_no, "blt", rs1=rs2, rs2=rs1, imm=target, imm_kind="branch"
+            )
+        )
+
+    def _pseudo_ble(self, ops, line_no):
+        # ble a, b, t  ==  bge b, a, t
+        self._expect(ops, 3, "ble", line_no)
+        rs1 = parse_register(ops[0], line_no)
+        rs2 = parse_register(ops[1], line_no)
+        target = _parse_operand_value(ops[2], line_no)
+        self._emit(
+            _PendingInstr(
+                line_no, "bge", rs1=rs2, rs2=rs1, imm=target, imm_kind="branch"
+            )
+        )
+
+    def _pseudo_neg(self, ops, line_no):
+        self._expect(ops, 2, "neg", line_no)
+        rd = parse_register(ops[0], line_no)
+        rs = parse_register(ops[1], line_no)
+        self._emit(_PendingInstr(line_no, "sub", rd=rd, rs1=0, rs2=rs))
+
+    def _pseudo_call(self, ops, line_no):
+        self._expect(ops, 1, "call", line_no)
+        target = _parse_operand_value(ops[0], line_no)
+        self._emit(_PendingInstr(line_no, "jal", rd=31, imm=target, imm_kind="jump"))
+
+    def _pseudo_ret(self, ops, line_no):
+        self._expect(ops, 0, "ret", line_no)
+        self._emit(_PendingInstr(line_no, "jr", rs1=31))
+
+    # -- pass 2 ------------------------------------------------------------
+    def resolve(self):
+        if self.data_base is None:
+            text_end = self.text_base + 4 * len(self.instrs)
+            self.data_base = (text_end + 15) & ~15
+        addresses = {}
+        for name, (section, offset) in self.symbols.items():
+            if section == "text":
+                addresses[name] = self.text_base + 4 * offset
+            else:
+                addresses[name] = self.data_base + offset
+        code = []
+        for index, p in enumerate(self.instrs):
+            imm = p.imm
+            if isinstance(imm, _SymRef):
+                if imm.name not in self.symbols:
+                    raise AssemblyError(f"undefined symbol {imm.name!r}", p.line_no)
+                section, offset = self.symbols[imm.name]
+                if p.imm_kind == "branch":
+                    if section != "text":
+                        raise AssemblyError(
+                            f"branch to data symbol {imm.name!r}", p.line_no
+                        )
+                    imm = offset + imm.offset - (index + 1)
+                elif p.imm_kind == "jump":
+                    if section != "text":
+                        raise AssemblyError(
+                            f"jump to data symbol {imm.name!r}", p.line_no
+                        )
+                    imm = offset + imm.offset
+                elif p.imm_kind == "hi16":
+                    imm = ((addresses[imm.name] + imm.offset) >> 16) & 0xFFFF
+                elif p.imm_kind == "lo16":
+                    imm = (addresses[imm.name] + imm.offset) & 0xFFFF
+                else:
+                    imm = addresses[imm.name] + imm.offset
+            try:
+                instr = Instruction(
+                    p.mnemonic, rd=p.rd, rs1=p.rs1, rs2=p.rs2, imm=imm
+                )
+                code.append(instr.encode())
+            except isa.IsaError as exc:
+                raise AssemblyError(str(exc), p.line_no) from exc
+        for offset, ref in self.data_fixups:
+            if ref.name not in addresses:
+                raise AssemblyError(f"undefined symbol {ref.name!r} in .word")
+            value = (addresses[ref.name] + ref.offset) & 0xFFFFFFFF
+            self.data[offset : offset + 4] = value.to_bytes(4, "little")
+        entry = 0
+        if "main" in self.symbols and self.symbols["main"][0] == "text":
+            entry = self.symbols["main"][1]
+        return Program(
+            code=code,
+            data=bytes(self.data),
+            text_base=self.text_base,
+            data_base=self.data_base,
+            symbols=addresses,
+            entry=entry,
+            source_map=self.source_map,
+        )
+
+
+def assemble(source, text_base=0x0, data_base=None):
+    """Assemble RISC-32 source text into a :class:`Program`.
+
+    ``text_base`` is the byte address where the code will be loaded;
+    ``data_base`` defaults to just past the text section, 16-byte aligned.
+    The entry point is the ``main`` label when present, else the first
+    instruction.
+    """
+    assembler = _Assembler(text_base, data_base)
+    for line_no, line in enumerate(source.splitlines(), start=1):
+        assembler.feed(line, line_no)
+    return assembler.resolve()

@@ -1,0 +1,75 @@
+"""Clock-domain bookkeeping shared between the platform and the VPCM.
+
+The paper's VPCM generates per-domain virtual clocks derived from the
+100 MHz physical FPGA oscillator.  A domain's virtual frequency can
+differ from the physical frequency (e.g. emulate a 500 MHz design on a
+100 MHz board) and can be suppressed (frozen) at run time.  The VPCM in
+:mod:`repro.core.vpcm` owns the control logic; this module holds the
+plain domain state so the MPSoC substrate does not depend on the
+framework package.
+"""
+
+from dataclasses import dataclass, field
+
+# The paper's implementation uses two domains: (1) processors, memories and
+# interconnections; (2) memory controllers.
+DOMAIN_SYSTEM = "system"
+DOMAIN_MEMCTRL = "memctrl"
+
+
+@dataclass
+class ClockDomain:
+    """One virtual clock domain.
+
+    ``virtual_hz`` is the frequency the emulated design is supposed to run
+    at; ``physical_hz`` the frequency of the underlying board oscillator.
+    ``suppressed_real_cycles`` accumulates physical cycles during which the
+    virtual clock was inhibited (memory-latency hiding, Ethernet
+    congestion or DFS throttling).
+    """
+
+    name: str
+    virtual_hz: float
+    physical_hz: float = 100e6
+    suppressed: bool = False
+    virtual_cycles: int = 0
+    suppressed_real_cycles: int = 0
+    members: list = field(default_factory=list)
+
+    @property
+    def stretch_factor(self):
+        """Real seconds of board time per emulated second.
+
+        A 500 MHz virtual clock on a 100 MHz board needs five real cycles
+        per virtual cycle, so a 10 ms emulated sampling period takes 50 ms
+        of wall-clock on the FPGA (Section 4.2 of the paper).
+        """
+        return self.virtual_hz / self.physical_hz
+
+    def advance(self, cycles):
+        """Account ``cycles`` virtual cycles of progress."""
+        if cycles < 0:
+            raise ValueError(f"negative cycle count {cycles}")
+        self.virtual_cycles += cycles
+
+    def suppress(self, real_cycles):
+        """Account ``real_cycles`` physical cycles of clock inhibition."""
+        if real_cycles < 0:
+            raise ValueError(f"negative suppression {real_cycles}")
+        self.suppressed_real_cycles += real_cycles
+
+    def virtual_time(self):
+        """Emulated seconds elapsed in this domain."""
+        return self.virtual_cycles / self.virtual_hz
+
+    def real_time(self):
+        """Wall-clock seconds of board time consumed by this domain.
+
+        Each virtual cycle costs ``virtual_hz / physical_hz`` physical
+        cycles when emulating a design faster than the board (the VPCM
+        stretches the sampling period), and exactly one physical cycle
+        otherwise; suppressed periods add on top.
+        """
+        cycles_per_virtual = max(1.0, self.virtual_hz / self.physical_hz)
+        real_cycles = self.virtual_cycles * cycles_per_virtual
+        return (real_cycles + self.suppressed_real_cycles) / self.physical_hz

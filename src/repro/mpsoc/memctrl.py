@@ -1,0 +1,194 @@
+"""Per-core memory controllers (Section 3.2).
+
+One memory controller is connected to each processing core and captures
+all its memory requests, forwarding them to the right device by address
+range: private main memory (direct attach), shared main memory (through
+the bus or NoC bridge), transparent L1 caches in front of cacheable
+ranges, and memory-mapped sniffer control registers.
+
+The controller also implements the paper's latency bookkeeping: it keeps
+internal counters comparing elapsed time against the user-defined
+latencies, and raises a ``VIRTUAL_CLK_SUPPRESSION`` request to the VPCM
+whenever a physical backing device cannot respond within the configured
+latency (Sections 3.2 and 4.2).
+"""
+
+from dataclasses import dataclass
+
+from repro.mpsoc.events import CounterBlock, Observable
+
+
+class AccessFault(Exception):
+    """Raised when an address decodes to no range."""
+
+
+@dataclass
+class AddressRange:
+    """One decoded address window.
+
+    ``target`` is a :class:`repro.mpsoc.memory.Memory` or an MMIO handler
+    (exposing ``mmio_read``/``mmio_write``).  ``via`` is ``None`` for a
+    direct attachment or an interconnect (Bus/Noc) reached with
+    ``master_id``.  ``cacheable`` routes the access through the L1s.
+    """
+
+    name: str
+    base: int
+    size: int
+    target: object
+    cacheable: bool = False
+    via: object = None
+    master_id: int = None
+    is_mmio: bool = False
+
+    def __post_init__(self):
+        if self.size <= 0:
+            raise ValueError(f"range {self.name}: size must be positive")
+        if self.via is not None and self.master_id is None:
+            raise ValueError(f"range {self.name}: interconnect needs a master_id")
+
+    def contains(self, addr):
+        return self.base <= addr < self.base + self.size
+
+    def offset(self, addr):
+        return addr - self.base
+
+
+class MemoryController(Observable):
+    """Memory controller for one processing core."""
+
+    def __init__(self, name, icache=None, dcache=None):
+        super().__init__()
+        self.name = name
+        self.icache = icache
+        self.dcache = dcache
+        self.ranges = []
+        self.counters = CounterBlock(name)
+        # Set by the VPCM when the framework wires the platform; receives
+        # the number of *physical* cycles to inhibit the virtual clock.
+        self.clk_suppression_hook = None
+
+    def add_range(self, address_range):
+        for existing in self.ranges:
+            overlap = not (
+                address_range.base + address_range.size <= existing.base
+                or existing.base + existing.size <= address_range.base
+            )
+            if overlap:
+                raise ValueError(
+                    f"{self.name}: range {address_range.name} overlaps {existing.name}"
+                )
+        self.ranges.append(address_range)
+        return address_range
+
+    def decode(self, addr):
+        for rng in self.ranges:
+            if rng.contains(addr):
+                return rng
+        raise AccessFault(f"{self.name}: no range maps address 0x{addr:08x}")
+
+    # -- functional data access ------------------------------------------------
+    def read_value(self, addr, size):
+        rng = self.decode(addr)
+        if rng.is_mmio:
+            return rng.target.mmio_read(rng.offset(addr))
+        off = rng.offset(addr)
+        if size == 4:
+            return rng.target.read_word(off)
+        return rng.target.read_byte(off)
+
+    def write_value(self, addr, size, value):
+        rng = self.decode(addr)
+        if rng.is_mmio:
+            rng.target.mmio_write(rng.offset(addr), value)
+            return
+        off = rng.offset(addr)
+        if size == 4:
+            rng.target.write_word(off, value)
+        else:
+            rng.target.write_byte(off, value)
+
+    # -- timing helpers ----------------------------------------------------------
+    def _suppress(self, real_cycles):
+        if real_cycles <= 0:
+            return
+        self.counters.add("clk_suppression_requests")
+        self.counters.add("suppressed_real_cycles", real_cycles)
+        if self.clk_suppression_hook is not None:
+            self.clk_suppression_hook(real_cycles)
+
+    def _backing_latency(self, rng, addr, is_write, nwords, t):
+        """Latency of touching the backing device behind ``rng``.
+
+        Either way the device's physical penalty (board memory slower
+        than the configured latency, e.g. DDR backing a fast emulated
+        memory) raises a VPCM clock-suppression request.
+        """
+        memory = rng.target
+        if rng.via is not None:
+            latency = rng.via.transfer(
+                rng.master_id, memory, addr, is_write, nwords, t
+            )
+        else:
+            latency = memory.access_latency(nwords)
+            memory.record_access(t, is_write, nwords)
+        self._suppress(memory.physical_penalty(nwords))
+        return latency
+
+    def _cached_access(self, cache, rng, addr, is_write, t):
+        """Access through an L1; returns total latency in virtual cycles."""
+        result = cache.access(addr, is_write, t)
+        latency = cache.config.hit_latency
+        line_words = cache.config.line_words
+        if result.writeback:
+            latency += self._backing_latency(
+                rng, result.victim_addr, True, line_words, t + latency
+            )
+        if result.fill:
+            latency += self._backing_latency(
+                rng, cache.line_base(addr), False, line_words, t + latency
+            )
+        if result.through_write:
+            latency += self._backing_latency(rng, addr, True, 1, t + latency)
+        return latency
+
+    # -- the three access paths used by the processor ---------------------------
+    def fetch_timing(self, addr, t):
+        """Instruction-fetch latency at virtual cycle ``t``."""
+        rng = self.decode(addr)
+        self.counters.add("fetches")
+        if rng.cacheable and self.icache is not None:
+            return self._cached_access(self.icache, rng, addr, False, t)
+        return self._backing_latency(rng, addr, False, 1, t)
+
+    def load(self, addr, size, t):
+        """Data load; returns ``(value, latency)``."""
+        rng = self.decode(addr)
+        self.counters.add("loads")
+        if rng.is_mmio:
+            return rng.target.mmio_read(rng.offset(addr)), 1
+        value = self.read_value(addr, size)
+        if rng.cacheable and self.dcache is not None:
+            return value, self._cached_access(self.dcache, rng, addr, False, t)
+        return value, self._backing_latency(rng, addr, False, 1, t)
+
+    def store(self, addr, size, value, t):
+        """Data store; returns the latency."""
+        rng = self.decode(addr)
+        self.counters.add("stores")
+        if rng.is_mmio:
+            rng.target.mmio_write(rng.offset(addr), value)
+            return 1
+        self.write_value(addr, size, value)
+        if rng.cacheable and self.dcache is not None:
+            return self._cached_access(self.dcache, rng, addr, True, t)
+        return self._backing_latency(rng, addr, True, 1, t)
+
+    def stats(self):
+        return {
+            "fetches": self.counters.get("fetches"),
+            "loads": self.counters.get("loads"),
+            "stores": self.counters.get("stores"),
+            "clk_suppression_requests": self.counters.get("clk_suppression_requests"),
+            "suppressed_real_cycles": self.counters.get("suppressed_real_cycles"),
+        }

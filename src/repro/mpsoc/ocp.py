@@ -1,0 +1,54 @@
+"""OCP-like transaction records (Section 3.3).
+
+The paper modifies its memory controllers and main-memory bridges to
+generate Open Core Protocol transactions, because the xpipes network
+interfaces consume OCP.  These records are what flows between a memory
+controller's bridge and a NoC network interface in our model.
+"""
+
+from dataclasses import dataclass
+
+CMD_READ = "RD"
+CMD_WRITE = "WR"
+
+
+@dataclass(frozen=True)
+class OcpRequest:
+    """One OCP request burst."""
+
+    master: str
+    cmd: str
+    addr: int
+    burst_len: int = 1  # words
+
+    def __post_init__(self):
+        if self.cmd not in (CMD_READ, CMD_WRITE):
+            raise ValueError(f"bad OCP command {self.cmd!r}")
+        if self.burst_len < 1:
+            raise ValueError(f"bad OCP burst length {self.burst_len}")
+
+    @property
+    def is_write(self):
+        return self.cmd == CMD_WRITE
+
+    def request_flits(self):
+        """Flits needed on a 32-bit link for the request packet.
+
+        Header flit + address flit, plus one data flit per word written.
+        """
+        payload = self.burst_len if self.is_write else 0
+        return 2 + payload
+
+    def response_flits(self):
+        """Flits of the response packet: header + read data (or an ack)."""
+        return 1 + (self.burst_len if not self.is_write else 0)
+
+
+@dataclass(frozen=True)
+class OcpResponse:
+    """Completion record for one OCP request."""
+
+    master: str
+    cmd: str
+    addr: int
+    latency: int  # virtual cycles from request issue to completion

@@ -1,0 +1,414 @@
+"""Processing-element models (Section 3.1).
+
+The paper ports a PowerPC405 hard core and a Microblaze soft core onto
+the FPGA and keeps the framework open to other cores (ARM, VLIW); only
+the instruction-set part of a core is used — its L1 hierarchy is always
+replaced by the framework's own caches.
+
+We model a core as a RISC-32 interpreter parameterized by a
+:class:`CoreSpec` (per-class CPI, default frequency, power class, FPGA
+resource cost).  The interpreter is *timed*: every instruction charges
+its CPI and any memory latency reported by the memory controller, and
+the core keeps the active/stall/idle accounting the thermal sniffers
+need ("HW sniffers measure the time that each processor spends in
+active/stalled/idle mode", Section 4.1).
+"""
+
+from dataclasses import dataclass, field
+
+from repro.mpsoc import isa
+from repro.mpsoc.events import CounterBlock, Observable
+from repro.mpsoc.isa import (
+    CLASS_ALU,
+    CLASS_BRANCH,
+    CLASS_DIV,
+    CLASS_JUMP,
+    CLASS_LOAD,
+    CLASS_MUL,
+    CLASS_STORE,
+    CLASS_SYSTEM,
+    to_signed,
+    to_unsigned,
+)
+
+STATE_RUNNING = "running"
+STATE_HALTED = "halted"
+
+
+@dataclass(frozen=True)
+class CoreSpec:
+    """Static description of a processing-core family."""
+
+    name: str
+    description: str
+    cpi: dict
+    default_hz: float
+    power_class: str  # key into the Table 1 power library
+    fpga_slices: int  # resource model (V2VP30 has 13696 slices)
+
+    def cycles_for(self, cls):
+        return self.cpi[cls]
+
+
+# CPI tables: simple single-issue in-order models.  The values follow the
+# usual pipeline depths: ARM7 is a 3-stage core with slow multiplies and
+# 3-cycle taken branches; ARM11/PowerPC405 are deeper but predicted;
+# Microblaze is the 3-stage Xilinx soft core (its divider is iterative).
+CORE_SPECS = {
+    "microblaze": CoreSpec(
+        name="microblaze",
+        description="Xilinx Microblaze RISC-32 soft core",
+        cpi={
+            CLASS_ALU: 1,
+            CLASS_MUL: 3,
+            CLASS_DIV: 32,
+            CLASS_LOAD: 1,
+            CLASS_STORE: 1,
+            CLASS_BRANCH: 2,
+            CLASS_JUMP: 2,
+            CLASS_SYSTEM: 1,
+        },
+        default_hz=100e6,
+        power_class="arm7",  # closest Table 1 class for a small RISC-32
+        fpga_slices=574,  # 4% of the V2VP30's 13696 slices (Section 3.1)
+    ),
+    "ppc405": CoreSpec(
+        name="ppc405",
+        description="PowerPC 405 hard core",
+        cpi={
+            CLASS_ALU: 1,
+            CLASS_MUL: 2,
+            CLASS_DIV: 35,
+            CLASS_LOAD: 1,
+            CLASS_STORE: 1,
+            CLASS_BRANCH: 2,
+            CLASS_JUMP: 2,
+            CLASS_SYSTEM: 1,
+        },
+        default_hz=100e6,
+        power_class="arm7",
+        fpga_slices=0,  # hard macro: consumes no slices
+    ),
+    "arm7": CoreSpec(
+        name="arm7",
+        description="ARM7-class RISC-32 (Table 1 / Figure 4a)",
+        cpi={
+            CLASS_ALU: 1,
+            CLASS_MUL: 4,
+            CLASS_DIV: 40,
+            CLASS_LOAD: 2,
+            CLASS_STORE: 2,
+            CLASS_BRANCH: 3,
+            CLASS_JUMP: 3,
+            CLASS_SYSTEM: 1,
+        },
+        default_hz=100e6,
+        power_class="arm7",
+        fpga_slices=900,
+    ),
+    "arm11": CoreSpec(
+        name="arm11",
+        description="ARM11-class RISC-32 (Table 1 / Figure 4b)",
+        cpi={
+            CLASS_ALU: 1,
+            CLASS_MUL: 2,
+            CLASS_DIV: 20,
+            CLASS_LOAD: 1,
+            CLASS_STORE: 1,
+            CLASS_BRANCH: 2,
+            CLASS_JUMP: 2,
+            CLASS_SYSTEM: 1,
+        },
+        default_hz=500e6,
+        power_class="arm11",
+        fpga_slices=1400,
+    ),
+    # The TC4SOC-class 32-bit VLIW the related work brings up (Section 2).
+    # Our interpreter is single-issue, so the VLIW advantage appears as a
+    # uniformly aggressive CPI table rather than multi-issue slots.
+    "vliw32": CoreSpec(
+        name="vliw32",
+        description="TC4SOC-class 32-bit VLIW core",
+        cpi={
+            CLASS_ALU: 1,
+            CLASS_MUL: 1,
+            CLASS_DIV: 12,
+            CLASS_LOAD: 1,
+            CLASS_STORE: 1,
+            CLASS_BRANCH: 2,
+            CLASS_JUMP: 1,
+            CLASS_SYSTEM: 1,
+        },
+        default_hz=200e6,
+        power_class="arm11",
+        fpga_slices=2300,
+    ),
+}
+
+
+class ExecutionError(Exception):
+    """Raised on run-time program faults (bad jump, misaligned access...)."""
+
+
+class Processor(Observable):
+    """A timed RISC-32 interpreter bound to one memory controller."""
+
+    def __init__(self, name, spec, memctrl, frequency_hz=None):
+        super().__init__()
+        self.name = name
+        self.spec = spec
+        self.memctrl = memctrl
+        self.frequency_hz = frequency_hz or spec.default_hz
+        self.counters = CounterBlock(name)
+        self.regs = [0] * isa.NUM_REGISTERS
+        self.pc = 0
+        self.cycle = 0  # local virtual time
+        self.state = STATE_HALTED
+        self.program = None
+        self._code = []  # decoded instructions (decode once, execute many)
+        self._text_base = 0
+        # active/stall/idle accounting (virtual cycles)
+        self.active_cycles = 0
+        self.stall_cycles = 0
+        self.idle_cycles = 0
+        self.instructions = 0
+        self.class_counts = {cls: 0 for cls in isa.INSTRUCTION_CLASSES}
+
+    # -- program loading ----------------------------------------------------
+    def load_program(self, program):
+        """Bind an assembled program; text/data must already be in memory
+        (the platform loader does that) — the core keeps a decoded copy of
+        the text for interpretation speed."""
+        self.program = program
+        self._code = [isa.decode(word) for word in program.code]
+        self._text_base = program.text_base
+        self.pc = program.entry
+        self.regs = [0] * isa.NUM_REGISTERS
+        self.state = STATE_RUNNING
+
+    def reset_stats(self):
+        self.counters.reset()
+        self.active_cycles = 0
+        self.stall_cycles = 0
+        self.idle_cycles = 0
+        self.instructions = 0
+        self.class_counts = {cls: 0 for cls in isa.INSTRUCTION_CLASSES}
+
+    @property
+    def halted(self):
+        return self.state == STATE_HALTED
+
+    # -- execution --------------------------------------------------------------
+    def step(self):
+        """Execute one instruction; returns the virtual cycles it took.
+
+        Returns 0 when the core is halted.  Fetch goes through the
+        I-cache path of the memory controller; loads/stores through the
+        D-side.  Cycle split: CPI + cache hit latencies count as *active*,
+        anything beyond (miss refills, bus waits) as *stall*.
+        """
+        if self.state != STATE_RUNNING:
+            return 0
+        if not 0 <= self.pc < len(self._code):
+            raise ExecutionError(
+                f"{self.name}: pc {self.pc} outside text ({len(self._code)} instrs)"
+            )
+        fetch_addr = self._text_base + 4 * self.pc
+        fetch_latency = self.memctrl.fetch_timing(fetch_addr, self.cycle)
+        instr = self._code[self.pc]
+        cls = instr.cls
+        cpi = self.spec.cycles_for(cls)
+        exec_start = self.cycle + fetch_latency
+        mem_latency = 0
+        taken_extra = 0
+
+        m = instr.mnemonic
+        regs = self.regs
+        next_pc = self.pc + 1
+
+        if cls == CLASS_ALU:
+            self._execute_alu(instr)
+        elif cls in (CLASS_MUL, CLASS_DIV):
+            self._execute_muldiv(instr)
+        elif cls == CLASS_LOAD:
+            addr = to_unsigned(regs[instr.rs1] + instr.imm)
+            size = 4 if m == "lw" else 1
+            if size == 4 and addr % 4:
+                raise ExecutionError(f"{self.name}: misaligned lw at 0x{addr:08x}")
+            value, mem_latency = self.memctrl.load(addr, size, exec_start + 1)
+            if m == "lb":
+                value = isa.sign_extend(value, 8) & 0xFFFFFFFF
+            if instr.rd != 0:
+                regs[instr.rd] = value & 0xFFFFFFFF
+        elif cls == CLASS_STORE:
+            addr = to_unsigned(regs[instr.rs1] + instr.imm)
+            size = 4 if m == "sw" else 1
+            if size == 4 and addr % 4:
+                raise ExecutionError(f"{self.name}: misaligned sw at 0x{addr:08x}")
+            mem_latency = self.memctrl.store(addr, size, regs[instr.rd], exec_start + 1)
+        elif cls == CLASS_BRANCH:
+            if self._branch_taken(instr):
+                next_pc = self.pc + 1 + instr.imm
+                taken_extra = 0  # CPI table already charges the taken cost
+        elif cls == CLASS_JUMP:
+            if m == "j":
+                next_pc = instr.imm
+            elif m == "jal":
+                if instr.rd != 0:
+                    regs[instr.rd] = self.pc + 1
+                next_pc = instr.imm
+            elif m == "jr":
+                next_pc = regs[instr.rs1]
+            elif m == "jalr":
+                target = regs[instr.rs1]
+                if instr.rd != 0:
+                    regs[instr.rd] = self.pc + 1
+                next_pc = target
+        elif cls == CLASS_SYSTEM:
+            if m == "halt":
+                self.state = STATE_HALTED
+
+        # Timing and accounting.
+        hit_lat = 0
+        if self.memctrl.icache is not None:
+            hit_lat += self.memctrl.icache.config.hit_latency
+        else:
+            hit_lat += 1
+        active = cpi + min(fetch_latency, hit_lat)
+        if cls in (CLASS_LOAD, CLASS_STORE):
+            dhit = (
+                self.memctrl.dcache.config.hit_latency
+                if self.memctrl.dcache is not None
+                else 1
+            )
+            active += min(mem_latency, dhit)
+        total = fetch_latency + cpi + mem_latency + taken_extra
+        stall = total - active
+        self.active_cycles += active
+        self.stall_cycles += stall
+        self.cycle += total
+        self.instructions += 1
+        self.class_counts[cls] += 1
+        self.pc = next_pc
+        return total
+
+    def run(self, max_instructions=None, until_cycle=None):
+        """Run until halt / instruction budget / cycle horizon.
+
+        Returns the number of instructions executed in this call.
+        """
+        executed = 0
+        while self.state == STATE_RUNNING:
+            if max_instructions is not None and executed >= max_instructions:
+                break
+            if until_cycle is not None and self.cycle >= until_cycle:
+                break
+            self.step()
+            executed += 1
+        return executed
+
+    def idle_until(self, cycle):
+        """Advance local time in the idle state (halted core, frozen clock)."""
+        if cycle > self.cycle:
+            self.idle_cycles += cycle - self.cycle
+            self.cycle = cycle
+
+    # -- semantics helpers -----------------------------------------------------
+    def _execute_alu(self, instr):
+        regs = self.regs
+        m = instr.mnemonic
+        a = regs[instr.rs1]
+        if instr.spec.fmt == "R":
+            b = regs[instr.rs2]
+        else:
+            b = instr.imm & 0xFFFFFFFF if instr.imm >= 0 else instr.imm
+
+        if m in ("add", "addi"):
+            value = a + (b if m == "add" else instr.imm)
+        elif m == "sub":
+            value = a - b
+        elif m in ("and", "andi"):
+            value = a & (b if m == "and" else instr.imm)
+        elif m in ("or", "ori"):
+            value = a | (b if m == "or" else instr.imm)
+        elif m in ("xor", "xori"):
+            value = a ^ (b if m == "xor" else instr.imm)
+        elif m in ("sll", "slli"):
+            shift = (b if m == "sll" else instr.imm) & 31
+            value = a << shift
+        elif m in ("srl", "srli"):
+            shift = (b if m == "srl" else instr.imm) & 31
+            value = (a & 0xFFFFFFFF) >> shift
+        elif m in ("sra", "srai"):
+            shift = (b if m == "sra" else instr.imm) & 31
+            value = to_signed(a) >> shift
+        elif m in ("slt", "slti"):
+            rhs = to_signed(b) if m == "slt" else instr.imm
+            value = 1 if to_signed(a) < rhs else 0
+        elif m == "sltu":
+            value = 1 if to_unsigned(a) < to_unsigned(b) else 0
+        elif m == "lui":
+            value = (instr.imm & 0xFFFF) << 16
+        elif m == "nop":
+            return
+        else:  # pragma: no cover - exhaustive over CLASS_ALU mnemonics
+            raise ExecutionError(f"unhandled ALU op {m}")
+        if instr.rd != 0:
+            regs[instr.rd] = value & 0xFFFFFFFF
+
+    def _execute_muldiv(self, instr):
+        regs = self.regs
+        a = to_signed(regs[instr.rs1])
+        b = to_signed(regs[instr.rs2])
+        m = instr.mnemonic
+        if m == "mul":
+            value = a * b
+        elif m == "div":
+            if b == 0:
+                value = -1
+            else:
+                value = int(a / b)  # C-style truncation toward zero
+        elif m == "rem":
+            if b == 0:
+                value = a
+            else:
+                value = a - int(a / b) * b
+        else:  # pragma: no cover
+            raise ExecutionError(f"unhandled mul/div op {m}")
+        if instr.rd != 0:
+            regs[instr.rd] = value & 0xFFFFFFFF
+
+    def _branch_taken(self, instr):
+        a = self.regs[instr.rs1]
+        b = self.regs[instr.rs2]
+        m = instr.mnemonic
+        if m == "beq":
+            return a == b
+        if m == "bne":
+            return a != b
+        if m == "blt":
+            return to_signed(a) < to_signed(b)
+        if m == "bge":
+            return to_signed(a) >= to_signed(b)
+        if m == "bltu":
+            return to_unsigned(a) < to_unsigned(b)
+        if m == "bgeu":
+            return to_unsigned(a) >= to_unsigned(b)
+        raise ExecutionError(f"unhandled branch {m}")  # pragma: no cover
+
+    # -- statistics -----------------------------------------------------------
+    def stats(self):
+        total = self.active_cycles + self.stall_cycles + self.idle_cycles
+        busy = self.active_cycles + self.stall_cycles
+        return {
+            "instructions": self.instructions,
+            "cycles": self.cycle,
+            "active_cycles": self.active_cycles,
+            "stall_cycles": self.stall_cycles,
+            "idle_cycles": self.idle_cycles,
+            "activity": (self.active_cycles / total) if total else 0.0,
+            "class_counts": dict(self.class_counts),
+            # CPI over execution cycles only — idle (post-halt / frozen
+            # clock) time is not instruction time.
+            "cpi": (busy / self.instructions) if self.instructions else 0.0,
+        }

@@ -1,0 +1,138 @@
+"""Activity-based run-time power estimation (Section 5.1).
+
+Every sampling window, the framework snapshots the platform statistics,
+turns the per-component deltas into utilizations in ``[0, 1]`` and then
+into watts through the Table 1 library; the resulting per-floorplan-cell
+power map is what flows to the thermal simulator over the Ethernet link.
+
+Utilization definitions (per window of ``W`` virtual cycles):
+
+* cores — ``(active + 0.4 * stalled + 0.05 * idle) / W``: a stalled core
+  still clocks its pipeline front end; an idle (frozen or halted) core
+  only its clock tree.
+* caches — accesses / W (one access keeps the arrays busy one cycle).
+* memories — words transferred x latency / W (array busy time).
+* NoC switches — flits routed / (W x radix): a switch at full tilt moves
+  one flit per port per cycle.
+* bus (when the floorplan has a bus region) — busy cycles / W.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.power.library import DEFAULT_LIBRARY
+
+ACTIVE_WEIGHT = 1.0
+STALL_WEIGHT = 0.4
+IDLE_WEIGHT = 0.05
+
+
+def _clamp01(value):
+    return 0.0 if value < 0.0 else (1.0 if value > 1.0 else value)
+
+
+@dataclass
+class ActivityVector:
+    """Per-activity-source utilizations for one sampling window.
+
+    Keys are the floorplan ``activity_source`` tuples, e.g. ``("core", 0)``
+    or ``("noc_switch", "sw2")``; values are utilizations in ``[0, 1]``.
+    """
+
+    window_cycles: int
+    utilization: dict = field(default_factory=dict)
+
+    def get(self, source):
+        return self.utilization.get(source, 0.0)
+
+    def set(self, source, value):
+        self.utilization[source] = _clamp01(value)
+
+
+class PowerModel:
+    """Turns platform statistics into per-floorplan-component power."""
+
+    def __init__(self, floorplan, library=None):
+        self.floorplan = floorplan
+        self.library = library or DEFAULT_LIBRARY
+        for comp in floorplan.active_components():
+            if comp.power_class not in self.library:
+                raise KeyError(
+                    f"floorplan {floorplan.name}: component {comp.name} has "
+                    f"unknown power class {comp.power_class!r}"
+                )
+
+    # -- utilization extraction ------------------------------------------------
+    def activity_from_stats(self, stats_delta, window_cycles):
+        """Build an :class:`ActivityVector` from a platform stats delta.
+
+        ``stats_delta`` has the same structure as ``Platform.stats()``
+        (absolute counters differenced per window by the framework).
+        """
+        activity = ActivityVector(window_cycles)
+        if window_cycles <= 0:
+            return activity
+        w = float(window_cycles)
+        for index, (name, core) in enumerate(stats_delta.get("cores", {}).items()):
+            busy = (
+                ACTIVE_WEIGHT * core.get("active_cycles", 0)
+                + STALL_WEIGHT * core.get("stall_cycles", 0)
+                + IDLE_WEIGHT * core.get("idle_cycles", 0)
+            )
+            activity.set(("core", index), busy / w)
+        for index, (name, cache) in enumerate(stats_delta.get("icaches", {}).items()):
+            activity.set(("icache", index), cache.get("accesses", 0) / w)
+        for index, (name, cache) in enumerate(stats_delta.get("dcaches", {}).items()):
+            activity.set(("dcache", index), cache.get("accesses", 0) / w)
+        for index, (name, mem) in enumerate(
+            stats_delta.get("private_mems", {}).items()
+        ):
+            words = mem.get("reads", 0) + mem.get("writes", 0)
+            activity.set(("private_mem", index), words / w)
+        shared = stats_delta.get("shared_mem", {})
+        shared_words = shared.get("reads", 0) + shared.get("writes", 0)
+        activity.set(("shared_mem", None), shared_words / w)
+        inter = stats_delta.get("interconnect", {})
+        if "switch_flits" in inter:
+            for switch, flits in inter["switch_flits"].items():
+                # radix 4 is the Figure 4 switch size; per-port-per-cycle cap.
+                activity.set(("noc_switch", switch), flits / (w * 4.0))
+        if "busy_cycles" in inter:
+            activity.set(("bus", None), inter.get("busy_cycles", 0) / w)
+        return activity
+
+    # -- power mapping -------------------------------------------------------------
+    def component_power(self, activity, frequency_hz=None, core_frequencies=None):
+        """Per-component power map ``{component name: watts}``.
+
+        ``frequency_hz`` scales every component (global DFS, the paper's
+        policy); ``core_frequencies`` optionally overrides per core index
+        for per-core DFS exploration.
+        """
+        powers = {}
+        for comp in self.floorplan.components:
+            if comp.is_filler or comp.activity_source is None:
+                powers[comp.name] = 0.0
+                continue
+            cls = self.library[comp.power_class]
+            util = activity.get(comp.activity_source)
+            f = frequency_hz
+            if (
+                core_frequencies is not None
+                and comp.activity_source[0] == "core"
+                and comp.activity_source[1] in core_frequencies
+            ):
+                f = core_frequencies[comp.activity_source[1]]
+            powers[comp.name] = cls.power_at(util, f)
+        return powers
+
+    def total_power(self, activity, frequency_hz=None, core_frequencies=None):
+        return sum(
+            self.component_power(activity, frequency_hz, core_frequencies).values()
+        )
+
+    def peak_power(self, frequency_hz=None):
+        """Power with every component at full utilization (sizing aid)."""
+        full = ActivityVector(1)
+        for comp in self.floorplan.active_components():
+            full.set(comp.activity_source, 1.0)
+        return self.total_power(full, frequency_hz)

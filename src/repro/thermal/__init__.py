@@ -1,0 +1,53 @@
+"""SW thermal modelling library (Section 5).
+
+An equivalent-electrical RC model of a silicon die plus copper heat
+spreader: the chip is divided into cubic cells of several sizes, each
+cell gets five thermal resistances (four lateral, one vertical) and one
+thermal capacitance, silicon conductivity is non-linear in temperature,
+heat enters as current sources on the bottom cells and leaves through a
+package-to-air convection resistance above the spreader.
+"""
+
+from repro.thermal.properties import (
+    AMBIENT_KELVIN,
+    COPPER,
+    PACKAGE_TO_AIR_RESISTANCE,
+    SILICON,
+    Material,
+    ThermalProperties,
+    silicon_conductivity,
+)
+from repro.thermal.floorplan import (
+    Floorplan,
+    FloorplanComponent,
+    floorplan_4xarm7,
+    floorplan_4xarm11,
+)
+from repro.thermal.grid import Cell, Grid, build_grid
+from repro.thermal.rc_network import RCNetwork
+from repro.thermal.solver import ThermalSolver
+from repro.thermal.sensors import TemperatureSensor, SensorBank
+from repro.thermal.analysis import OperatingPoint, OperatingPointAnalyzer
+
+__all__ = [
+    "AMBIENT_KELVIN",
+    "OperatingPoint",
+    "OperatingPointAnalyzer",
+    "COPPER",
+    "Cell",
+    "Floorplan",
+    "FloorplanComponent",
+    "Grid",
+    "Material",
+    "PACKAGE_TO_AIR_RESISTANCE",
+    "RCNetwork",
+    "SILICON",
+    "SensorBank",
+    "TemperatureSensor",
+    "ThermalProperties",
+    "ThermalSolver",
+    "build_grid",
+    "floorplan_4xarm7",
+    "floorplan_4xarm11",
+    "silicon_conductivity",
+]

@@ -1,0 +1,261 @@
+"""Floorplans: named rectangles bound to power classes (Figure 4).
+
+A floorplan tiles the die exactly with component rectangles plus named
+filler (empty silicon) rectangles; exact tiling lets the grid generator
+produce both the paper's coarse 28-cell co-emulation grids and fine
+multi-hundred-cell grids from the same description.
+
+The two experiment floorplans of Figure 4 are built here:
+``floorplan_4xarm7`` (4 ARM7 cores at 100 MHz) and ``floorplan_4xarm11``
+(4 ARM11 cores at 500 MHz), both in 130 nm.  The paper does not publish
+coordinates, so the layouts place the cores in the four corners with
+their caches and private memories alongside and the shared memory plus
+the four NoC switches in the centre, as Figure 4 shows.  Component areas
+are derived from Table 1 (area = max power / power density).
+
+``activity_source`` ties each component to the platform statistics that
+drive its power: ``("core", i)``, ``("icache", i)``, ``("dcache", i)``,
+``("private_mem", i)``, ``("shared_mem", None)``,
+``("noc_switch", switch_name)`` or ``None`` for passive silicon.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.util.units import MM2
+
+_AREA_TOLERANCE = 1e-9
+
+
+@dataclass(frozen=True)
+class FloorplanComponent:
+    """One axis-aligned rectangle of the floorplan (SI metres)."""
+
+    name: str
+    x: float
+    y: float
+    width: float
+    height: float
+    power_class: str = None  # key into the Table 1 power library
+    activity_source: tuple = None
+    critical: bool = False  # refine this rectangle in multi-resolution grids
+
+    @property
+    def area(self):
+        return self.width * self.height
+
+    @property
+    def x1(self):
+        return self.x + self.width
+
+    @property
+    def y1(self):
+        return self.y + self.height
+
+    @property
+    def is_filler(self):
+        return self.power_class is None
+
+    def overlap_area(self, x0, y0, x1, y1):
+        """Area of intersection with the rectangle [x0,x1] x [y0,y1]."""
+        dx = min(self.x1, x1) - max(self.x, x0)
+        dy = min(self.y1, y1) - max(self.y, y0)
+        if dx <= 0 or dy <= 0:
+            return 0.0
+        return dx * dy
+
+
+@dataclass
+class Floorplan:
+    """An exact rectangular tiling of the die."""
+
+    name: str
+    width: float
+    height: float
+    components: list = field(default_factory=list)
+
+    def __post_init__(self):
+        self.validate()
+
+    @property
+    def area(self):
+        return self.width * self.height
+
+    def component(self, name):
+        for comp in self.components:
+            if comp.name == name:
+                return comp
+        raise KeyError(f"{self.name}: no component {name!r}")
+
+    def active_components(self):
+        return [c for c in self.components if not c.is_filler]
+
+    def validate(self):
+        """Check bounds, pairwise disjointness and exact coverage."""
+        names = [c.name for c in self.components]
+        if len(set(names)) != len(names):
+            raise ValueError(f"{self.name}: duplicate component names")
+        total = 0.0
+        for comp in self.components:
+            if comp.width <= 0 or comp.height <= 0:
+                raise ValueError(f"{self.name}/{comp.name}: non-positive size")
+            if (
+                comp.x < -_AREA_TOLERANCE
+                or comp.y < -_AREA_TOLERANCE
+                or comp.x1 > self.width + _AREA_TOLERANCE
+                or comp.y1 > self.height + _AREA_TOLERANCE
+            ):
+                raise ValueError(f"{self.name}/{comp.name}: outside the die")
+            total += comp.area
+        for i, a in enumerate(self.components):
+            for b in self.components[i + 1 :]:
+                if a.overlap_area(b.x, b.y, b.x1, b.y1) > _AREA_TOLERANCE:
+                    raise ValueError(
+                        f"{self.name}: components {a.name} and {b.name} overlap"
+                    )
+        if abs(total - self.area) > 1e-6 * self.area:
+            raise ValueError(
+                f"{self.name}: tiling covers {total:.3e} m^2 of {self.area:.3e} m^2"
+            )
+
+    def summary(self):
+        """Rows of (name, class, area mm^2, critical) for reports."""
+        return [
+            (c.name, c.power_class or "-", c.area / MM2, c.critical)
+            for c in self.components
+        ]
+
+
+class _RowBuilder:
+    """Builds an exactly tiled floorplan row by row.
+
+    Each row is a horizontal strip of the die; items are placed left to
+    right and ``gap`` inserts filler.  Any remaining width at the end of
+    a row becomes filler automatically, so tiling is exact by
+    construction.
+    """
+
+    def __init__(self, name, width):
+        self.name = name
+        self.width = width
+        self.components = []
+        self._y = 0.0
+        self._fill_count = 0
+
+    def row(self, height, items):
+        x = 0.0
+        for item in items:
+            if isinstance(item, (int, float)):
+                x = self._fill(x, x + item, height)
+                continue
+            comp_name, power_class, area, source, critical = item
+            width = area / height
+            if x + width > self.width + 1e-9:
+                raise ValueError(
+                    f"{self.name}: row at y={self._y:.4e} overflows the die "
+                    f"({comp_name})"
+                )
+            self.components.append(
+                FloorplanComponent(
+                    name=comp_name,
+                    x=x,
+                    y=self._y,
+                    width=width,
+                    height=height,
+                    power_class=power_class,
+                    activity_source=source,
+                    critical=critical,
+                )
+            )
+            x += width
+        self._fill(x, self.width, height)
+        self._y += height
+
+    def _fill(self, x0, x1, height):
+        if x1 - x0 > 1e-9:
+            self.components.append(
+                FloorplanComponent(
+                    name=f"fill{self._fill_count}",
+                    x=x0,
+                    y=self._y,
+                    width=x1 - x0,
+                    height=height,
+                )
+            )
+            self._fill_count += 1
+        return x1
+
+    def build(self):
+        return Floorplan(
+            name=self.name, width=self.width, height=self._y, components=self.components
+        )
+
+
+def _corner_floorplan(name, core_class, core_area, die_width, core_row_h, cache_row_h):
+    """Common Figure 4 structure: cores in the corners, caches and private
+    memories alongside, shared memory and the four NoC switches centred."""
+    from repro.power.library import DEFAULT_LIBRARY
+
+    lib = DEFAULT_LIBRARY
+    icache_area = lib.area("icache_8k_dm")
+    dcache_area = lib.area("dcache_8k_2w")
+    mem_area = lib.area("sram_32k")
+    switch_area = lib.area("noc_switch")
+
+    def core(i):
+        return (f"{core_class}_{i}", core_class, core_area, ("core", i), True)
+
+    def icache(i):
+        return (f"icache_{i}", "icache_8k_dm", icache_area, ("icache", i), False)
+
+    def dcache(i):
+        return (f"dcache_{i}", "dcache_8k_2w", dcache_area, ("dcache", i), False)
+
+    def privmem(i):
+        return (f"privmem_{i}", "sram_32k", mem_area, ("private_mem", i), False)
+
+    def switch(i):
+        return (f"switch_{i}", "noc_switch", switch_area, ("noc_switch", f"sw{i}"), False)
+
+    shared = ("shared_mem", "sram_32k", mem_area, ("shared_mem", None), False)
+
+    b = _RowBuilder(name, die_width)
+    gap = 0.2e-3
+    # Top strip: cores 0 and 1 in the corners.
+    b.row(core_row_h, [core(0), icache(0), privmem(0), gap, privmem(1), icache(1), core(1)])
+    # Upper middle: the two top D-caches around the shared memory.
+    b.row(cache_row_h, [dcache(0), gap, shared, switch(0), switch(1), gap, dcache(1)])
+    # Lower middle: bottom D-caches around the remaining switches.
+    b.row(cache_row_h, [dcache(2), gap, switch(2), switch(3), gap, dcache(3)])
+    # Bottom strip: cores 2 and 3 in the corners.
+    b.row(core_row_h, [core(2), icache(2), privmem(2), gap, privmem(3), icache(3), core(3)])
+    return b.build()
+
+
+def floorplan_4xarm7():
+    """Figure 4(a): 4 ARM7 cores at 100 MHz, 130 nm."""
+    from repro.power.library import DEFAULT_LIBRARY
+
+    core_area = DEFAULT_LIBRARY.area("arm7")
+    return _corner_floorplan(
+        name="4xarm7",
+        core_class="arm7",
+        core_area=core_area,
+        die_width=4.9e-3,
+        core_row_h=0.8e-3,
+        cache_row_h=1.9e-3,
+    )
+
+
+def floorplan_4xarm11():
+    """Figure 4(b): 4 ARM11 cores at 500 MHz, 130 nm."""
+    from repro.power.library import DEFAULT_LIBRARY
+
+    core_area = DEFAULT_LIBRARY.area("arm11")
+    return _corner_floorplan(
+        name="4xarm11",
+        core_class="arm11",
+        core_area=core_area,
+        die_width=6.4e-3,
+        core_row_h=1.6e-3,
+        cache_row_h=1.9e-3,
+    )

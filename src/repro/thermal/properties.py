@@ -1,0 +1,111 @@
+"""Material and package thermal properties (Table 2 of the paper).
+
+=============================  =======================================
+silicon thermal conductivity   ``150 * (300/T)^(4/3)`` W/(m K)
+silicon specific heat          ``1.628e-12`` J/(um^3 K)
+silicon thickness              350 um
+copper thermal conductivity    400 W/(m K)
+copper specific heat           ``3.55e-12`` J/(um^3 K)
+copper thickness               1000 um
+package-to-air conductivity    20 K/W (low-power package)
+=============================  =======================================
+
+Specific heats are volumetric; the table's J/(um^3 K) values convert to
+J/(m^3 K) by a factor 1e18.  The non-linear silicon conductivity is the
+paper's deliberate improvement over constant-k RC models ("we have
+adopted non-linear resistances inside the silicon, in order to match
+the behaviour of thermal conductivity").
+"""
+
+from dataclasses import dataclass
+
+from repro.util.units import UM
+
+# Table 2, converted to SI.
+SILICON_K300 = 150.0  # W/(m K) at 300 K
+SILICON_EXPONENT = 4.0 / 3.0
+SILICON_VOLUMETRIC_HEAT = 1.628e-12 * 1e18  # J/(m^3 K)
+SILICON_THICKNESS = 350 * UM
+
+COPPER_CONDUCTIVITY = 400.0  # W/(m K)
+COPPER_VOLUMETRIC_HEAT = 3.55e-12 * 1e18  # J/(m^3 K)
+COPPER_THICKNESS = 1000 * UM
+
+# The paper uses 20 K/W, deliberately above vendor numbers, "because of
+# the uncertainty of final MPSoC working conditions".
+PACKAGE_TO_AIR_RESISTANCE = 20.0  # K/W
+
+AMBIENT_KELVIN = 300.0
+
+
+def silicon_conductivity(t_kelvin):
+    """Temperature-dependent silicon conductivity, W/(m K).
+
+    ``k(T) = 150 * (300/T)^(4/3)`` — Table 2.  Accepts scalars or NumPy
+    arrays.  Conductivity falls as the die heats, which makes hot spots
+    self-reinforcing; this is why the paper insists on non-linear
+    resistances inside the silicon.
+    """
+    return SILICON_K300 * (300.0 / t_kelvin) ** SILICON_EXPONENT
+
+
+@dataclass(frozen=True)
+class Material:
+    """One solid material of the thermal stack.
+
+    ``conductivity`` is either a constant (W/(m K)) or a callable of
+    temperature; :meth:`k` resolves both.
+    """
+
+    name: str
+    conductivity: object
+    volumetric_heat: float  # J/(m^3 K)
+
+    @property
+    def nonlinear(self):
+        return callable(self.conductivity)
+
+    def k(self, t_kelvin):
+        if self.nonlinear:
+            return self.conductivity(t_kelvin)
+        return self.conductivity
+
+
+SILICON = Material(
+    name="silicon",
+    conductivity=silicon_conductivity,
+    volumetric_heat=SILICON_VOLUMETRIC_HEAT,
+)
+
+COPPER = Material(
+    name="copper",
+    conductivity=COPPER_CONDUCTIVITY,
+    volumetric_heat=COPPER_VOLUMETRIC_HEAT,
+)
+
+
+@dataclass(frozen=True)
+class ThermalProperties:
+    """The full Table 2 parameter set, overridable for exploration."""
+
+    die_material: Material = SILICON
+    spreader_material: Material = COPPER
+    die_thickness: float = SILICON_THICKNESS
+    spreader_thickness: float = COPPER_THICKNESS
+    package_to_air_resistance: float = PACKAGE_TO_AIR_RESISTANCE
+    ambient: float = AMBIENT_KELVIN
+
+    def table(self):
+        """Render Table 2 rows (used by the Table 2 bench)."""
+        return [
+            ("silicon thermal conductivity", "150 * (300/T)^(4/3) W/mK"),
+            ("silicon specific heat", "1.628e-12 J/um^3K"),
+            ("silicon thickness", f"{self.die_thickness / UM:.0f} um"),
+            ("copper thermal conductivity", f"{COPPER_CONDUCTIVITY:.0f} W/mK"),
+            ("copper specific heat", "3.55e-12 J/um^3K"),
+            ("copper thickness", f"{self.spreader_thickness / UM:.0f} um"),
+            (
+                "package-to-air conductivity",
+                f"{self.package_to_air_resistance:.0f} K/W in low power",
+            ),
+        ]

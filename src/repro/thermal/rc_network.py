@@ -1,0 +1,175 @@
+"""Equivalent-electrical RC network assembly (Figure 3b).
+
+Each cell carries one thermal capacitance and couples to its neighbours
+through thermal resistances: four lateral and one vertical (Figure 3b).
+A resistance between two cells is the series of each cell's *half*
+resistance, so the non-linear silicon conductivity is evaluated at each
+cell's own temperature — exactly the "non-linear resistances inside the
+silicon" the paper adopts.  The heat spreader is linear copper.
+
+Boundary conditions (Section 5.2):
+
+* power enters as current sources on the bottom (die) cells, each
+  injecting the covering components' power density times the overlap
+  area;
+* no heat is transferred down into the package from the bottom cells
+  (adiabatic bottom and sides);
+* the top (spreader) cells lose heat by natural convection through a
+  resistance equal to the package-to-air resistance weighted by the
+  spreader-to-cell area ratio, in series with the cell's own vertical
+  half resistance.
+
+Every cell interacts only with its neighbours, so assembly and solve
+cost are linear in the number of cells (sparse matrices).
+"""
+
+import numpy as np
+from scipy import sparse
+
+from repro.thermal.grid import LAYER_DIE
+from repro.thermal.properties import silicon_conductivity
+
+
+class RCNetwork:
+    """Sparse thermal RC network over a :class:`repro.thermal.grid.Grid`."""
+
+    def __init__(self, grid):
+        self.grid = grid
+        self.properties = grid.properties
+        n = grid.num_cells
+        self.num_cells = n
+
+        cells = grid.cells
+        props = self.properties
+        # Per-cell capacitance C = volumetric heat * volume.
+        self.capacitance = np.array(
+            [
+                (
+                    props.die_material.volumetric_heat
+                    if c.layer == LAYER_DIE
+                    else props.spreader_material.volumetric_heat
+                )
+                * c.volume
+                for c in cells
+            ]
+        )
+        # Which cells have temperature-dependent conductivity (silicon die).
+        self.is_nonlinear = np.array(
+            [
+                c.layer == LAYER_DIE and props.die_material.nonlinear
+                for c in cells
+            ],
+            dtype=bool,
+        )
+        self._linear_k = np.array(
+            [
+                (
+                    props.die_material.k(300.0)
+                    if c.layer == LAYER_DIE
+                    else props.spreader_material.k(300.0)
+                )
+                for c in cells
+            ]
+        )
+
+        # Edge arrays: conductance of edge e = 1 / (geom_i/k_i + geom_j/k_j)
+        # where geom is the half-resistance geometric factor (1/m).
+        edge_i, edge_j, geom_i, geom_j = [], [], [], []
+        for i, j, face_len, axis in grid.lateral_edges:
+            ci, cj = cells[i], cells[j]
+            di = ci.width if axis == "x" else ci.height
+            dj = cj.width if axis == "x" else cj.height
+            edge_i.append(i)
+            edge_j.append(j)
+            geom_i.append((di / 2.0) / (face_len * ci.thickness))
+            geom_j.append((dj / 2.0) / (face_len * cj.thickness))
+        for i, j, area in grid.vertical_edges:
+            ci, cj = cells[i], cells[j]
+            edge_i.append(i)
+            edge_j.append(j)
+            geom_i.append((ci.thickness / 2.0) / area)
+            geom_j.append((cj.thickness / 2.0) / area)
+        self.edge_i = np.array(edge_i, dtype=np.int64)
+        self.edge_j = np.array(edge_j, dtype=np.int64)
+        self.geom_i = np.array(geom_i)
+        self.geom_j = np.array(geom_j)
+
+        # Convection from top (spreader) cells to ambient: the package
+        # resistance weighted by area ratio, in series with the copper
+        # half resistance of the cell itself.
+        spreader_area = grid.floorplan.area
+        g_amb = np.zeros(n)
+        k_cu = props.spreader_material.k(300.0)
+        for index in grid.spreader_cells:
+            cell = cells[index]
+            r_conv = props.package_to_air_resistance * (spreader_area / cell.area)
+            r_half = (cell.thickness / 2.0) / (k_cu * cell.area)
+            g_amb[index] = 1.0 / (r_conv + r_half)
+        self.g_ambient = g_amb
+
+        # Power injection vector (set_power refreshes it).
+        self.power = np.zeros(n)
+        self._component_cover = grid.component_cover
+        self._comp_area = {
+            comp.name: comp.area for comp in grid.floorplan.components
+        }
+
+    # -- power -----------------------------------------------------------------
+    def set_power(self, component_powers):
+        """Set the current sources from a ``{component: watts}`` map.
+
+        Power is spread over the component's covering die cells
+        proportionally to overlap area ("the heat injected by the current
+        source corresponds to the power density of the architectural
+        component covering the cell multiplied by the surface area of the
+        cell").
+        """
+        self.power[:] = 0.0
+        for name, watts in component_powers.items():
+            if watts == 0.0:
+                continue
+            cover = self._component_cover.get(name)
+            if cover is None:
+                raise KeyError(f"no floorplan component {name!r}")
+            area = self._comp_area[name]
+            for cell_index, overlap in cover:
+                self.power[cell_index] += watts * (overlap / area)
+
+    def total_power(self):
+        return float(self.power.sum())
+
+    # -- conductance assembly ---------------------------------------------------
+    def cell_conductivity(self, temperatures):
+        """Per-cell conductivity at the given temperatures."""
+        k = self._linear_k.copy()
+        if self.is_nonlinear.any():
+            t = np.asarray(temperatures)
+            k[self.is_nonlinear] = silicon_conductivity(t[self.is_nonlinear])
+        return k
+
+    def edge_conductances(self, temperatures):
+        k = self.cell_conductivity(temperatures)
+        r = self.geom_i / k[self.edge_i] + self.geom_j / k[self.edge_j]
+        return 1.0 / r
+
+    def conductance_matrix(self, temperatures):
+        """Sparse G(T): graph Laplacian over the edges + ambient leakage."""
+        n = self.num_cells
+        g = self.edge_conductances(temperatures)
+        i, j = self.edge_i, self.edge_j
+        rows = np.concatenate([i, j, i, j, np.arange(n)])
+        cols = np.concatenate([j, i, i, j, np.arange(n)])
+        data = np.concatenate([-g, -g, g, g, self.g_ambient])
+        return sparse.csr_matrix((data, (rows, cols)), shape=(n, n))
+
+    def rhs(self):
+        """Right-hand side: injected power + ambient Dirichlet term."""
+        return self.power + self.g_ambient * self.properties.ambient
+
+    # -- energy bookkeeping (property tests) ---------------------------------
+    def heat_outflow(self, temperatures):
+        """Watts leaving through the package at the given temperatures."""
+        t = np.asarray(temperatures)
+        return float(
+            np.sum(self.g_ambient * (t - self.properties.ambient))
+        )

@@ -1,0 +1,82 @@
+"""Temperature sensors bound to floorplan components (Section 4.2).
+
+The emulated MPSoC carries one HW temperature sensor per monitored
+component; the SW thermal tool writes the freshly computed temperatures
+back over Ethernet, and each sensor raises/clears a signal to the VPCM
+when its component crosses the configured thresholds.  The dual-threshold
+hysteresis (350 K upper / 340 K lower in the paper's experiment) lives
+here; the DFS reaction lives in :mod:`repro.core.thermal_manager`.
+"""
+
+from dataclasses import dataclass, field
+
+OVER_UPPER = "over-upper"
+UNDER_LOWER = "under-lower"
+IN_BAND = "in-band"
+
+
+@dataclass
+class TemperatureSensor:
+    """One per-component sensor with dual-threshold hysteresis."""
+
+    component: str
+    upper_kelvin: float = 350.0
+    lower_kelvin: float = 340.0
+    temperature: float = 0.0
+    hot: bool = False  # latched: crossed upper, not yet back under lower
+    crossings: list = field(default_factory=list)
+
+    def __post_init__(self):
+        if self.lower_kelvin >= self.upper_kelvin:
+            raise ValueError(
+                f"sensor {self.component}: lower threshold must be below upper"
+            )
+
+    def update(self, temperature, time=None):
+        """Feed a new reading; returns the band classification."""
+        self.temperature = float(temperature)
+        if not self.hot and temperature >= self.upper_kelvin:
+            self.hot = True
+            self.crossings.append((time, OVER_UPPER, self.temperature))
+            return OVER_UPPER
+        if self.hot and temperature <= self.lower_kelvin:
+            self.hot = False
+            self.crossings.append((time, UNDER_LOWER, self.temperature))
+            return UNDER_LOWER
+        return IN_BAND
+
+
+class SensorBank:
+    """The set of sensors for one emulated MPSoC."""
+
+    def __init__(self, components, upper_kelvin=350.0, lower_kelvin=340.0):
+        self.sensors = {
+            name: TemperatureSensor(name, upper_kelvin, lower_kelvin)
+            for name in components
+        }
+
+    def update(self, component_temperatures, time=None):
+        """Feed all sensors; returns ``{component: band}`` for changed ones."""
+        transitions = {}
+        for name, sensor in self.sensors.items():
+            if name not in component_temperatures:
+                continue
+            band = sensor.update(component_temperatures[name], time)
+            if band != IN_BAND:
+                transitions[name] = band
+        return transitions
+
+    @property
+    def any_hot(self):
+        return any(s.hot for s in self.sensors.values())
+
+    def max_temperature(self):
+        return max((s.temperature for s in self.sensors.values()), default=0.0)
+
+    def crossings(self):
+        rows = []
+        for name, sensor in self.sensors.items():
+            for time, kind, temp in sensor.crossings:
+                rows.append((time, name, kind, temp))
+        rows.sort(key=lambda r: (r[0] is None, r[0]))
+        return rows

@@ -1,0 +1,83 @@
+"""Small report helpers shared by the statistics code and the benches.
+
+The benches regenerate the paper's tables as plain text; ``Table`` gives
+them a uniform, dependency-free renderer.
+"""
+
+
+def format_si(value, unit="", digits=3):
+    """Format ``value`` with an SI prefix (``1.2e-3`` -> ``"1.2 m"``).
+
+    Returns a string such as ``"43 mW"`` or ``"1.65 s"``.
+    """
+    if value == 0:
+        return f"0 {unit}".rstrip()
+    prefixes = [
+        (1e9, "G"),
+        (1e6, "M"),
+        (1e3, "k"),
+        (1.0, ""),
+        (1e-3, "m"),
+        (1e-6, "u"),
+        (1e-9, "n"),
+        (1e-12, "p"),
+    ]
+    magnitude = abs(value)
+    for scale, prefix in prefixes:
+        if magnitude >= scale:
+            scaled = value / scale
+            return f"{scaled:.{digits}g} {prefix}{unit}".rstrip()
+    scale, prefix = prefixes[-1]
+    return f"{value / scale:.{digits}g} {prefix}{unit}".rstrip()
+
+
+def format_duration(seconds):
+    """Format a duration the way the paper's Table 3 does (``5' 02 sec``)."""
+    if seconds < 0:
+        raise ValueError(f"negative duration: {seconds!r}")
+    if seconds >= 86400:
+        days = seconds / 86400.0
+        return f"{days:.1f} days"
+    if seconds >= 60:
+        total = round(seconds)
+        minutes, rem = divmod(total, 60)
+        return f"{minutes}' {rem:02d} sec"
+    if seconds >= 1:
+        return f"{seconds:.2f} sec"
+    return f"{seconds * 1e3:.2f} ms"
+
+
+class Table:
+    """A minimal fixed-width text table used by reports and benches."""
+
+    def __init__(self, headers, title=None):
+        self.title = title
+        self.headers = [str(h) for h in headers]
+        self.rows = []
+
+    def add_row(self, *cells):
+        """Append a row; cells are stringified with ``str``."""
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append([str(c) for c in cells])
+
+    def render(self):
+        """Render the table to a single string."""
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        sep = "-+-".join("-" * w for w in widths)
+        lines.append(" | ".join(h.ljust(w) for h, w in zip(self.headers, widths)))
+        lines.append(sep)
+        for row in self.rows:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def __str__(self):
+        return self.render()

@@ -1,0 +1,47 @@
+"""Unit constants and conversions.
+
+The code base works in SI base units internally (seconds, metres, watts,
+kelvins) unless a name says otherwise.  These constants make call sites
+read like the paper ("350 * UM silicon thickness", "100 * MHZ clock").
+"""
+
+# --- time ---------------------------------------------------------------
+S = 1.0
+MS = 1e-3
+US = 1e-6
+NS = 1e-9
+
+# --- frequency ----------------------------------------------------------
+HZ = 1.0
+KHZ = 1e3
+MHZ = 1e6
+GHZ = 1e9
+
+# --- length / area ------------------------------------------------------
+M = 1.0
+MM = 1e-3
+UM = 1e-6
+MM2 = 1e-6  # square metres per square millimetre
+UM2 = 1e-12
+
+# --- power --------------------------------------------------------------
+W = 1.0
+MW = 1e-3
+UW = 1e-6
+
+# --- memory sizes (bytes) -------------------------------------------------
+KB = 1024
+MB = 1024 * 1024
+
+# --- temperature ----------------------------------------------------------
+ZERO_CELSIUS_IN_KELVIN = 273.15
+
+
+def celsius_to_kelvin(t_celsius):
+    """Convert a temperature from degrees Celsius to Kelvin."""
+    return t_celsius + ZERO_CELSIUS_IN_KELVIN
+
+
+def kelvin_to_celsius(t_kelvin):
+    """Convert a temperature from Kelvin to degrees Celsius."""
+    return t_kelvin - ZERO_CELSIUS_IN_KELVIN

@@ -1,0 +1,44 @@
+"""SW drivers executed on the emulated MPSoC (Section 7).
+
+* :mod:`repro.workloads.matrix` — the MATRIX kernel: independent integer
+  matrix multiplications in each core's private memory, combined in
+  shared memory at the end; MATRIX-TM is its 100 K-iteration
+  thermal-stress variant.
+* :mod:`repro.workloads.dithering` — the DITHERING kernel:
+  Floyd-Steinberg dithering of two grey images split in four segments in
+  shared memory.
+* :mod:`repro.workloads.generator` — synthetic traffic/compute
+  generators for sweeps and ablations.
+"""
+
+from repro.workloads.matrix import (
+    expected_checksum,
+    expected_product,
+    matrix_program,
+    matrix_programs,
+)
+from repro.workloads.dithering import (
+    dithering_programs,
+    golden_dither,
+    load_images,
+    read_image,
+)
+from repro.workloads.images import synthetic_grey_image
+from repro.workloads.generator import (
+    compute_burst_program,
+    shared_traffic_program,
+)
+
+__all__ = [
+    "compute_burst_program",
+    "dithering_programs",
+    "expected_checksum",
+    "expected_product",
+    "golden_dither",
+    "load_images",
+    "matrix_program",
+    "matrix_programs",
+    "read_image",
+    "shared_traffic_program",
+    "synthetic_grey_image",
+]

@@ -1,0 +1,179 @@
+"""The DITHERING driver (Section 7, Table 3 rows 4-5).
+
+Floyd-Steinberg dithering of two grey images stored in shared memory,
+split into four horizontal segments — one per core.  The kernel is
+highly parallel and imposes almost the same workload on each processor,
+and every pixel touch is a shared-memory transaction, which is what
+makes this driver interconnect-bound (the paper uses it to compare the
+bus against the NoC).
+
+Error diffusion is segment-local (a core never writes another core's
+rows, so the parallel run is race-free); :func:`golden_dither`
+implements the identical arithmetic in NumPy-free Python for bit-exact
+verification, including the arithmetic-shift (floor) semantics of the
+``(err * w) >> 4`` weights and the 0..255 clamped adds.
+"""
+
+import numpy as np
+
+from repro.mpsoc.asm import assemble
+from repro.mpsoc.platform import SHARED_BASE
+from repro.workloads.images import synthetic_grey_image
+
+THRESHOLD = 128
+
+
+def image_base(index, width, height):
+    """Shared-memory byte address of image ``index``."""
+    return SHARED_BASE + index * width * height
+
+
+def dithering_source(core_id, num_cores, width=128, height=128, num_images=2):
+    """RISC-32 assembly for one core's dithering segment."""
+    if height % num_cores:
+        raise ValueError(f"height {height} not divisible by {num_cores} cores")
+    rows = height // num_cores
+    row_start = core_id * rows
+    row_end = row_start + rows
+    return f"""
+# DITHERING kernel: Floyd-Steinberg over rows [{row_start}, {row_end})
+# of {num_images} {width}x{height} images in shared memory, core {core_id}.
+# r1=img base r2=width r3=y r4=x r5=row_end r6=pixel addr r7=old r8=new
+# r9=err r10=diffuse addr r11=diffuse delta r15=img counter r16=img stride
+        .text
+main:   li   r15, 0                  # image index
+        li   r2, {width}
+        li   r16, {width * height}
+        li   r21, 7                  # error-diffusion weights
+        li   r22, 3
+        li   r23, 5
+img_loop:
+        li   r1, 0x{SHARED_BASE:08x}
+        mul  r6, r15, r16
+        add  r1, r1, r6              # base of this image
+        li   r3, {row_start}
+        li   r5, {row_end}
+y_loop: li   r4, 0
+x_loop: mul  r6, r3, r2              # addr = base + y*width + x
+        add  r6, r6, r4
+        add  r6, r6, r1
+        lbu  r7, 0(r6)               # old pixel
+        li   r8, 0
+        slti r9, r7, {THRESHOLD}
+        bne  r9, r0, store           # old < threshold -> new = 0
+        li   r8, 255
+store:  sb   r8, 0(r6)
+        sub  r9, r7, r8              # err = old - new
+# east: (x+1, y) += err*7 >> 4
+        addi r12, r4, 1
+        bge  r12, r2, south_west
+        addi r10, r6, 1
+        mul  r11, r9, r21
+        srai r11, r11, 4
+        jal  r31, diffuse
+south_west:
+        addi r13, r3, 1
+        bge  r13, r5, next_x         # last row of the segment: no south
+        beq  r4, r0, south
+        add  r10, r6, r2
+        addi r10, r10, -1            # (x-1, y+1)
+        mul  r11, r9, r22
+        srai r11, r11, 4
+        jal  r31, diffuse
+south:  add  r10, r6, r2             # (x, y+1)
+        mul  r11, r9, r23
+        srai r11, r11, 4
+        jal  r31, diffuse
+        addi r12, r4, 1
+        bge  r12, r2, next_x
+        add  r10, r6, r2
+        addi r10, r10, 1             # (x+1, y+1)
+        srai r11, r9, 4              # err * 1 >> 4
+        jal  r31, diffuse
+next_x: addi r4, r4, 1
+        blt  r4, r2, x_loop
+        addi r3, r3, 1
+        blt  r3, r5, y_loop
+        addi r15, r15, 1
+        slti r9, r15, {num_images}
+        bne  r9, r0, img_loop
+        halt
+
+# diffuse: [r10] = clamp([r10] + r11, 0, 255)
+diffuse:
+        lbu  r17, 0(r10)
+        add  r17, r17, r11
+        bge  r17, r0, d_hi
+        li   r17, 0
+        b    d_store
+d_hi:   li   r18, 255
+        ble  r17, r18, d_store
+        li   r17, 255
+d_store:
+        sb   r17, 0(r10)
+        jr   r31
+"""
+
+
+def dithering_programs(num_cores=4, width=128, height=128, num_images=2):
+    """Assemble the per-core dithering programs."""
+    return [
+        assemble(
+            dithering_source(
+                core_id, num_cores, width=width, height=height, num_images=num_images
+            )
+        )
+        for core_id in range(num_cores)
+    ]
+
+
+def load_images(platform, width=128, height=128, num_images=2):
+    """Write the synthetic input images into shared memory.
+
+    Returns the list of input images as NumPy arrays (the goldens'
+    starting point).
+    """
+    images = []
+    for index in range(num_images):
+        image = synthetic_grey_image(width, height, variant=index)
+        platform.write_shared(image_base(index, width, height), image.tobytes())
+        images.append(image)
+    return images
+
+
+def read_image(platform, index, width=128, height=128):
+    """Read one dithered image back out of shared memory."""
+    blob = platform.read_shared(image_base(index, width, height), width * height)
+    return np.frombuffer(blob, dtype=np.uint8).reshape(height, width).copy()
+
+
+def golden_dither(image, num_segments=4):
+    """Bit-exact reference of the emulated kernel (segment-local FS)."""
+    height, width = image.shape
+    if height % num_segments:
+        raise ValueError(f"height {height} not divisible by {num_segments}")
+    pixels = [[int(v) for v in row] for row in image]
+    rows_per_segment = height // num_segments
+
+    def clamped_add(y, x, delta):
+        value = pixels[y][x] + delta
+        pixels[y][x] = 0 if value < 0 else (255 if value > 255 else value)
+
+    for segment in range(num_segments):
+        y0 = segment * rows_per_segment
+        y1 = y0 + rows_per_segment
+        for y in range(y0, y1):
+            for x in range(width):
+                old = pixels[y][x]
+                new = 255 if old >= THRESHOLD else 0
+                pixels[y][x] = new
+                err = old - new
+                if x + 1 < width:
+                    clamped_add(y, x + 1, (err * 7) >> 4)
+                if y + 1 < y1:
+                    if x > 0:
+                        clamped_add(y + 1, x - 1, (err * 3) >> 4)
+                    clamped_add(y + 1, x, (err * 5) >> 4)
+                    if x + 1 < width:
+                        clamped_add(y + 1, x + 1, (err * 1) >> 4)
+    return np.array(pixels, dtype=np.uint8)

@@ -1,0 +1,83 @@
+"""Synthetic workload generators for sweeps and ablations.
+
+These produce small parameterized kernels with controllable
+compute/communication mixes — the knobs the interconnect and sniffer
+ablation benches turn.
+"""
+
+from repro.mpsoc.asm import assemble
+from repro.mpsoc.platform import SHARED_BASE
+
+
+def shared_traffic_program(core_id, num_words=256, reads_per_write=1, stride=1,
+                           iterations=1):
+    """A core that streams reads (and writes) over the interconnect.
+
+    Walks ``num_words`` words of shared memory with the given stride,
+    issuing ``reads_per_write`` loads per store — pure interconnect
+    traffic for bus-vs-NoC comparisons.
+    """
+    if num_words < 1 or stride < 1 or reads_per_write < 1 or iterations < 1:
+        raise ValueError("generator parameters must be positive")
+    base = SHARED_BASE + 4 * core_id * num_words * stride
+    reads = "\n".join(
+        f"        lw   r7, {4 * r}(r6)" for r in range(reads_per_write)
+    )
+    return assemble(
+        f"""
+# shared-memory traffic generator, core {core_id}
+        .text
+main:   li   r20, {iterations}
+iter:   li   r6, 0x{base:08x}
+        li   r2, 0
+loop:
+{reads}
+        add  r8, r8, r7
+        sw   r8, 0(r6)
+        addi r6, r6, {4 * stride}
+        addi r2, r2, 1
+        blt  r2, r0, loop            # patched below: loop bound in r1
+        addi r20, r20, -1
+        bgt  r20, r0, iter
+        halt
+"""
+        .replace("blt  r2, r0, loop", f"slti r9, r2, {num_words}\n        bne  r9, r0, loop")
+    )
+
+
+def compute_burst_program(busy_loops=1000, idle_loops=0, iterations=1):
+    """Alternating compute bursts and low-activity phases.
+
+    ``busy_loops`` tight ALU iterations followed by ``idle_loops`` of a
+    slow pointer-free loop; shapes core activity for power-model and
+    DFS-policy tests.
+    """
+    if busy_loops < 1 or idle_loops < 0 or iterations < 1:
+        raise ValueError("generator parameters must be positive")
+    idle_block = ""
+    if idle_loops:
+        idle_block = f"""
+        li   r3, {idle_loops}
+idle:   addi r3, r3, -1
+        nop
+        nop
+        nop
+        bgt  r3, r0, idle
+"""
+    return assemble(
+        f"""
+# compute-burst generator
+        .text
+main:   li   r20, {iterations}
+iter:   li   r2, {busy_loops}
+busy:   add  r4, r4, r2
+        xor  r5, r4, r2
+        slli r6, r5, 1
+        addi r2, r2, -1
+        bgt  r2, r0, busy
+{idle_block}
+        addi r20, r20, -1
+        bgt  r20, r0, iter
+        halt
+"""
+    )

@@ -1,0 +1,23 @@
+"""Deterministic synthetic grey images for the dithering driver.
+
+The paper dithers two 128x128 grey images; we generate deterministic
+synthetic ones (a diagonal gradient with a superimposed interference
+pattern) so every run and every test sees identical pixels without
+shipping binary assets.
+"""
+
+import numpy as np
+
+
+def synthetic_grey_image(width=128, height=128, variant=0):
+    """An 8-bit grey image with smooth gradients and local structure.
+
+    ``variant`` selects one of the deterministic patterns (the paper
+    uses two input images).
+    """
+    if width <= 0 or height <= 0:
+        raise ValueError("image dimensions must be positive")
+    y, x = np.mgrid[0:height, 0:width]
+    base = (x * 3 + y * 7 + (variant + 1) * (x * y // 5)) % 256
+    swirl = (x * x + y * y) // (7 + 3 * variant) % 97
+    return ((base + swirl) % 256).astype(np.uint8)

@@ -1,0 +1,140 @@
+"""The MATRIX driver (Section 7, Table 3 rows 1-3 and MATRIX-TM).
+
+Each core multiplies two ``n x n`` integer matrices held in its private
+memory, repeating for a configurable number of iterations, and finally
+combines its result into shared memory (a checksum of the product is
+stored in a per-core slot, as the paper's kernel "combines in memory at
+the end").  MATRIX-TM is the same kernel run for a 100 K-matrix workload
+to stress the processing power and expose thermal effects.
+
+The assembly is generated from a template parameterized by the matrix
+size, the iteration count and the core's shared-memory slot;
+:func:`expected_product` / :func:`expected_checksum` are the NumPy
+golden models the tests compare against.
+"""
+
+import numpy as np
+
+from repro.mpsoc.asm import assemble
+from repro.mpsoc.platform import SHARED_BASE
+
+
+def matrix_elements(n, core_id, which):
+    """Deterministic input matrix (int32) for one core.
+
+    ``which`` is "a" or "b"; values are small signed integers so
+    products stay well inside 32 bits until they wrap naturally.
+    """
+    i, j = np.mgrid[0:n, 0:n]
+    if which == "a":
+        values = (i * 3 + j * 5 + core_id * 7) % 23 - 11
+    elif which == "b":
+        values = (i * 7 + j * 2 + core_id * 13) % 19 - 9
+    else:
+        raise ValueError(f"which must be 'a' or 'b', got {which!r}")
+    return values.astype(np.int64)
+
+
+def expected_product(n, core_id):
+    """The 32-bit wrapped product matrix the emulated core must compute."""
+    a = matrix_elements(n, core_id, "a")
+    b = matrix_elements(n, core_id, "b")
+    return ((a @ b) & 0xFFFFFFFF).astype(np.uint32)
+
+
+def expected_checksum(n, core_id):
+    """The 32-bit checksum the core stores into its shared-memory slot."""
+    return int(expected_product(n, core_id).sum(dtype=np.uint64) & 0xFFFFFFFF)
+
+
+def _words(values):
+    """Render a flat iterable of ints as .word directives (8 per line)."""
+    values = [int(v) & 0xFFFFFFFF for v in values]
+    lines = []
+    for start in range(0, len(values), 8):
+        chunk = ", ".join(f"0x{v:08x}" for v in values[start : start + 8])
+        lines.append(f"        .word {chunk}")
+    return "\n".join(lines)
+
+
+def matrix_source(n=8, iterations=1, core_id=0):
+    """Generate the RISC-32 assembly for one core's MATRIX kernel."""
+    if n < 1:
+        raise ValueError("matrix size must be >= 1")
+    if iterations < 1:
+        raise ValueError("need at least one iteration")
+    a = matrix_elements(n, core_id, "a").flatten()
+    b = matrix_elements(n, core_id, "b").flatten()
+    slot_addr = SHARED_BASE + 4 * core_id
+    return f"""
+# MATRIX kernel: {n}x{n} int matmul x{iterations}, core {core_id}
+# r1=n r2=i r3=j r4=k r5=acc r6=addr r7/r8=operands r9=prod r20=iters
+        .text
+main:   li   r20, {iterations}
+        li   r1, {n}
+iter:   la   r10, mat_a
+        la   r11, mat_b
+        la   r12, mat_c
+        li   r2, 0
+i_loop: li   r3, 0
+j_loop: li   r5, 0
+        li   r4, 0
+k_loop: mul  r6, r2, r1          # A[i][k]
+        add  r6, r6, r4
+        slli r6, r6, 2
+        add  r6, r6, r10
+        lw   r7, 0(r6)
+        mul  r6, r4, r1          # B[k][j]
+        add  r6, r6, r3
+        slli r6, r6, 2
+        add  r6, r6, r11
+        lw   r8, 0(r6)
+        mul  r9, r7, r8
+        add  r5, r5, r9
+        addi r4, r4, 1
+        blt  r4, r1, k_loop
+        mul  r6, r2, r1          # C[i][j] = acc
+        add  r6, r6, r3
+        slli r6, r6, 2
+        add  r6, r6, r12
+        sw   r5, 0(r6)
+        addi r3, r3, 1
+        blt  r3, r1, j_loop
+        addi r2, r2, 1
+        blt  r2, r1, i_loop
+        addi r20, r20, -1
+        bgt  r20, r0, iter
+# combine: checksum of C into this core's shared-memory slot
+        la   r12, mat_c
+        li   r5, 0
+        li   r2, 0
+        mul  r13, r1, r1
+sum:    lw   r7, 0(r12)
+        add  r5, r5, r7
+        addi r12, r12, 4
+        addi r2, r2, 1
+        blt  r2, r13, sum
+        li   r14, 0x{slot_addr:08x}
+        sw   r5, 0(r14)
+        halt
+        .data
+        .align 4
+mat_a:
+{_words(a)}
+mat_b:
+{_words(b)}
+mat_c:  .space {4 * n * n}
+"""
+
+
+def matrix_program(n=8, iterations=1, core_id=0):
+    """Assemble the MATRIX kernel for one core."""
+    return assemble(matrix_source(n=n, iterations=iterations, core_id=core_id))
+
+
+def matrix_programs(num_cores, n=8, iterations=1):
+    """One independent MATRIX program per core (Table 3 configuration)."""
+    return [
+        matrix_program(n=n, iterations=iterations, core_id=core)
+        for core in range(num_cores)
+    ]

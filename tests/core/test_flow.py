@@ -1,0 +1,60 @@
+"""Design-flow (Figure 5) tests."""
+
+import pytest
+
+from repro.core.flow import EmulationFlow, FlowError, SynthesisModel
+from repro.thermal.floorplan import floorplan_4xarm7
+from repro.workloads.matrix import matrix_programs
+from tests.conftest import small_config
+
+
+def test_synthesis_model_matches_paper_anchor():
+    model = SynthesisModel()
+    # 8 processors + 20 extra modules: the paper reports 10-12 hours.
+    seconds = model.full_synthesis_seconds(8, 20)
+    assert 10 * 3600 <= seconds <= 12 * 3600
+    assert model.resynthesis_seconds() < 3600
+    assert model.application_compile_seconds(2) == pytest.approx(360.0)
+
+
+def test_flow_phases_in_order():
+    flow = EmulationFlow()
+    flow.define_hw(small_config(2), programs=matrix_programs(2, n=4))
+    flow.define_floorplan(floorplan_4xarm7())
+    report = flow.upload()
+    assert 0 < report["percent"] <= 100
+    framework = flow.launch()
+    result = framework.run(max_windows=3)
+    # The tiny matrix kernel fits in the first 10 ms window.
+    assert result.workload_done
+    assert result.windows >= 1
+    assert flow.total_build_seconds() > 0
+
+
+def test_flow_rejects_out_of_order_use():
+    flow = EmulationFlow()
+    with pytest.raises(FlowError):
+        flow.define_floorplan(floorplan_4xarm7())
+    with pytest.raises(FlowError):
+        flow.upload()
+    with pytest.raises(FlowError):
+        flow.launch()
+
+
+def test_flow_rejects_designs_that_do_not_fit():
+    from repro.mpsoc import generate_mesh
+
+    flow = EmulationFlow()
+    # A 4x4 mesh of switches blows through the V2VP30 capacity.
+    big = small_config(8, interconnect="noc", noc=generate_mesh("big", 4, 4))
+    flow.define_hw(big)
+    flow.define_floorplan(floorplan_4xarm7())
+    with pytest.raises(FlowError, match="does not fit"):
+        flow.upload()
+
+
+def test_flow_build_log_accumulates():
+    flow = EmulationFlow()
+    flow.define_hw(small_config(1), programs=matrix_programs(1, n=4))
+    phases = [name for name, _ in flow.build_log]
+    assert phases == ["synthesis", "application-compile"]

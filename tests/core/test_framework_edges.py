@@ -1,0 +1,85 @@
+"""Framework edge cases: reports, initial temperature, monitoring subsets."""
+
+import pytest
+
+from repro.core.framework import EmulationFramework, FrameworkConfig
+from repro.core.thermal_manager import DualThresholdDfsPolicy, NoManagementPolicy
+from repro.core.workload_model import ActivityProfile, ProfiledWorkload
+from repro.thermal.floorplan import floorplan_4xarm11
+from repro.util.units import MHZ
+
+
+def profile():
+    utilization = {("core", i): 0.9 for i in range(4)}
+    return ActivityProfile(name="p", cycles_per_iteration=1000,
+                           utilization=utilization)
+
+
+def make_framework(**config_overrides):
+    return EmulationFramework(
+        platform=None,
+        floorplan=floorplan_4xarm11(),
+        workload=ProfiledWorkload(profile(), total_iterations=10**8),
+        policy=NoManagementPolicy(),
+        config=FrameworkConfig(
+            virtual_hz=500 * MHZ, spreader_resolution=(2, 2), **config_overrides
+        ),
+    )
+
+
+def test_initial_temperature_override():
+    framework = make_framework(initial_temperature_kelvin=345.0)
+    assert framework.solver.max_temperature() == pytest.approx(345.0)
+    sample = framework.step_window()
+    assert sample.max_temp_k > 330.0  # starts warm, not from ambient
+
+
+def test_monitored_subset():
+    framework = EmulationFramework(
+        platform=None,
+        floorplan=floorplan_4xarm11(),
+        workload=ProfiledWorkload(profile(), total_iterations=10**6),
+        policy=DualThresholdDfsPolicy(),
+        config=FrameworkConfig(
+            virtual_hz=500 * MHZ,
+            spreader_resolution=(2, 2),
+            monitored_components=("arm11_0",),
+        ),
+    )
+    assert set(framework.sensors.sensors) == {"arm11_0"}
+
+
+def test_report_before_any_window():
+    framework = make_framework()
+    report = framework.report()
+    assert report.windows == 0
+    assert report.emulated_seconds == 0.0
+    assert report.peak_temperature_k == 0.0
+    assert not report.workload_done
+
+
+def test_sample_fields_consistent():
+    framework = make_framework()
+    sample = framework.step_window()
+    assert sample.time_s == pytest.approx(framework.config.sampling_period_s)
+    assert sample.frequency_hz == 500 * MHZ
+    assert sample.total_power_w == pytest.approx(
+        sum(
+            framework.power_model.component_power(
+                framework.workload.advance(0), frequency_hz=500 * MHZ
+            ).values()
+        ),
+        abs=10.0,
+    )
+    assert sample.max_temp_k >= 300.0
+
+
+def test_board_time_tracks_stretch():
+    framework = make_framework()
+    for _ in range(10):
+        framework.step_window()
+    report = framework.report()
+    # 500 MHz on a 100 MHz board: 5x stretch (no congestion freezes here).
+    assert report.fpga_real_seconds == pytest.approx(
+        5 * report.emulated_seconds, rel=1e-6
+    )

@@ -1,0 +1,143 @@
+"""Sniffer tests: counting, event capture, MMIO control, bank building."""
+
+import pytest
+
+from repro.core.sniffers import (
+    CountLoggingSniffer,
+    EventLoggingSniffer,
+    KIND_COUNT_LOGGING,
+    KIND_EVENT_LOGGING,
+    REG_ENABLE,
+    REG_KIND,
+    REG_SELECT,
+    REG_VALUE,
+    SnifferBank,
+)
+from repro.mpsoc.cache import Cache, CacheConfig
+from repro.mpsoc.events import Observable
+
+
+def make_cache():
+    return Cache(CacheConfig(name="d", size=256, line_size=16))
+
+
+def test_count_sniffer_deltas():
+    cache = make_cache()
+    sniffer = CountLoggingSniffer("d.cnt", cache)
+    cache.access(0x00, False)
+    cache.access(0x00, False)
+    first = sniffer.collect()
+    assert first["accesses"] == 2
+    assert first["hits"] == 1
+    cache.access(0x40, False)
+    second = sniffer.collect()
+    assert second["accesses"] == 1
+    assert second["misses"] == 1
+
+
+def test_count_sniffer_disabled_reports_nothing():
+    cache = make_cache()
+    sniffer = CountLoggingSniffer("d.cnt", cache)
+    sniffer.enabled = False
+    cache.access(0x00, False)
+    assert sniffer.collect() == {}
+    assert sniffer.window_payload_bytes() == 0
+
+
+def test_count_sniffer_mmio_interface():
+    cache = make_cache()
+    sniffer = CountLoggingSniffer("d.cnt", cache)
+    assert sniffer.mmio_read(REG_KIND) == KIND_COUNT_LOGGING
+    assert sniffer.mmio_read(REG_ENABLE) == 1
+    sniffer.mmio_write(REG_ENABLE, 0)
+    assert not sniffer.enabled
+    cache.access(0x00, False)
+    names = sniffer.counter_names()
+    index = names.index("accesses")
+    sniffer.mmio_write(REG_SELECT, index)
+    assert sniffer.mmio_read(REG_SELECT) == index
+    assert sniffer.mmio_read(REG_VALUE) == 1
+    sniffer.mmio_write(REG_SELECT, 999)
+    assert sniffer.mmio_read(REG_VALUE) == 0
+
+
+def test_count_sniffer_payload_sizing():
+    cache = make_cache()
+    sniffer = CountLoggingSniffer("d.cnt", cache)
+    payload = sniffer.window_payload_bytes()
+    assert payload == 8 + 8 * len(sniffer.counter_names())
+
+
+class _Emitter(Observable):
+    def __init__(self):
+        super().__init__()
+        self.name = "emitter"
+
+    def stats(self):
+        return {}
+
+
+def test_event_sniffer_captures_and_drains():
+    emitter = _Emitter()
+    sniffer = EventLoggingSniffer("e.evt", emitter)
+    emitter.emit(1, "emitter", "cache.hit", (0x40,))
+    emitter.emit(2, "emitter", "cache.miss", (0x80,))
+    assert sniffer.mmio_read(REG_VALUE) == 2
+    assert sniffer.window_payload_bytes() == 24
+    events = sniffer.collect()
+    assert [e.kind for e in events] == ["cache.hit", "cache.miss"]
+    assert sniffer.collect() == []
+
+
+def test_event_sniffer_respects_enable_and_bound():
+    emitter = _Emitter()
+    sniffer = EventLoggingSniffer("e.evt", emitter, max_events=2)
+    sniffer.enabled = False
+    emitter.emit(1, "emitter", "x")
+    assert sniffer.collect() == []
+    sniffer.enabled = True
+    for cycle in range(5):
+        emitter.emit(cycle, "emitter", "x")
+    assert len(sniffer.collect()) == 2
+    assert sniffer.dropped == 3
+
+
+def test_event_sniffer_kind_code():
+    sniffer = EventLoggingSniffer("e.evt", _Emitter())
+    assert sniffer.mmio_read(REG_KIND) == KIND_EVENT_LOGGING
+
+
+def test_bank_from_platform(platform2):
+    bank = SnifferBank.from_platform(platform2)
+    # One count sniffer per component: 2 cores + 2 memory controllers +
+    # 4 caches + 2 private memories + shared + bus.
+    assert len(bank) == 12
+    assert len(bank.count_sniffers()) == 12
+    assert bank.window_payload_bytes() > 0
+    assert bank.fpga_overhead_percent() == pytest.approx(0.3 * 12)
+
+
+def test_bank_with_event_logging(platform2):
+    name = platform2.icaches[0].name
+    bank = SnifferBank.from_platform(platform2, event_logging=[name])
+    assert len(bank.event_sniffers()) == 1
+
+
+def test_bank_mmio_mapping(platform2):
+    bank = SnifferBank.from_platform(platform2)
+    # Every sniffer got a distinct MMIO window.
+    offsets = list(bank.mmio_offsets.values())
+    assert len(offsets) == len(set(offsets))
+    # Software can disable the first sniffer through MMIO.
+    from repro.mpsoc.platform import MMIO_BASE
+
+    ctrl = platform2.memctrls[0]
+    first = bank.sniffers[0]
+    ctrl.store(MMIO_BASE + bank.mmio_offsets[first.name] + REG_ENABLE, 4, 0, t=0)
+    assert not first.enabled
+
+
+def test_bank_collect_window(platform2):
+    bank = SnifferBank.from_platform(platform2)
+    records = bank.collect_window()
+    assert set(records) == {s.name for s in bank.sniffers}

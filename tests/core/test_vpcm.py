@@ -1,0 +1,105 @@
+"""VPCM tests: stretch accounting, freezes, DFS transitions."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.vpcm import (
+    FREEZE_ETHERNET,
+    FREEZE_MEMORY,
+    Vpcm,
+)
+from repro.util.units import MHZ
+
+
+def test_stretch_factor():
+    vpcm = Vpcm(physical_hz=100 * MHZ, virtual_hz=500 * MHZ)
+    assert vpcm.stretch_factor == 5.0
+    vpcm.set_frequency(100 * MHZ)
+    assert vpcm.stretch_factor == 1.0
+    vpcm.set_frequency(50 * MHZ)
+    assert vpcm.stretch_factor == 1.0  # board never runs below real time
+
+
+def test_paper_example_10ms_becomes_50ms():
+    vpcm = Vpcm(physical_hz=100 * MHZ, virtual_hz=500 * MHZ)
+    assert vpcm.window_real_seconds(0.010) == pytest.approx(0.050)
+    assert vpcm.window_cycles(0.010) == 5_000_000
+
+
+def test_account_window_accumulates():
+    vpcm = Vpcm(virtual_hz=500 * MHZ)
+    for _ in range(3):
+        vpcm.account_window(0.010)
+    assert vpcm.emulated_seconds == pytest.approx(0.030)
+    assert vpcm.real_seconds == pytest.approx(0.150)
+
+
+def test_freeze_reasons_accumulate():
+    vpcm = Vpcm()
+    vpcm.freeze_cycles(1000)  # memory reason by default
+    vpcm.freeze_seconds(0.25, FREEZE_ETHERNET)
+    vpcm.freeze_seconds(0.25, FREEZE_ETHERNET)
+    assert vpcm.freezes[FREEZE_MEMORY] == pytest.approx(1000 / (100 * MHZ))
+    assert vpcm.freezes[FREEZE_ETHERNET] == pytest.approx(0.5)
+    assert vpcm.total_freeze_seconds() == pytest.approx(0.5 + 1e-5)
+    assert vpcm.real_seconds == pytest.approx(vpcm.total_freeze_seconds())
+
+
+def test_zero_freeze_not_recorded():
+    vpcm = Vpcm()
+    vpcm.freeze_seconds(0.0)
+    assert vpcm.freezes == {}
+
+
+def test_negative_inputs_rejected():
+    vpcm = Vpcm()
+    with pytest.raises(ValueError):
+        vpcm.freeze_seconds(-1.0)
+    with pytest.raises(ValueError):
+        vpcm.set_frequency(-5.0)
+
+
+def test_transitions_recorded():
+    vpcm = Vpcm(virtual_hz=500 * MHZ)
+    vpcm.set_frequency(100 * MHZ, time_s=1.0, reason="dfs")
+    vpcm.set_frequency(100 * MHZ)  # no-op: no transition
+    vpcm.set_frequency(500 * MHZ, time_s=2.0, reason="dfs")
+    assert len(vpcm.transitions) == 2
+    assert vpcm.transitions[0].from_hz == 500 * MHZ
+    assert vpcm.transitions[0].to_hz == 100 * MHZ
+    assert vpcm.transitions[0].time_s == 1.0
+
+
+def test_attach_platform_wires_suppression(platform2):
+    vpcm = Vpcm()
+    vpcm.attach_platform(platform2)
+    platform2.memctrls[0].clk_suppression_hook(500)
+    assert vpcm.freezes[FREEZE_MEMORY] == pytest.approx(5e-6)
+
+
+def test_frozen_clock_window():
+    vpcm = Vpcm(virtual_hz=0.0)
+    assert vpcm.window_cycles(0.01) == 0
+    assert vpcm.window_real_seconds(0.01) == pytest.approx(0.01)
+
+
+def test_report_shape():
+    vpcm = Vpcm(virtual_hz=500 * MHZ)
+    vpcm.account_window(0.01)
+    report = vpcm.report()
+    assert report["virtual_hz"] == 500 * MHZ
+    assert report["emulated_seconds"] == pytest.approx(0.01)
+    assert report["frequency_transitions"] == 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    virtual_mhz=st.floats(min_value=1.0, max_value=1000.0),
+    windows=st.integers(min_value=1, max_value=50),
+)
+def test_real_time_never_below_emulated(virtual_mhz, windows):
+    """Property: the board can never run faster than real time."""
+    vpcm = Vpcm(virtual_hz=virtual_mhz * 1e6)
+    for _ in range(windows):
+        vpcm.account_window(0.01)
+    assert vpcm.real_seconds >= vpcm.emulated_seconds - 1e-12

@@ -1,0 +1,64 @@
+"""Ethernet link model tests."""
+
+import pytest
+
+from repro.emulation.ethernet import (
+    ETHERNET_100_MBIT,
+    MAC_FRAME_OVERHEAD_BYTES,
+    MAC_MAX_PAYLOAD_BYTES,
+    EthernetLink,
+)
+
+
+def test_frame_count():
+    link = EthernetLink()
+    assert link.frame_count(0) == 0
+    assert link.frame_count(1) == 1
+    assert link.frame_count(1500) == 1
+    assert link.frame_count(1501) == 2
+    assert link.frame_count(4500) == 3
+
+
+def test_wire_bytes_include_overhead():
+    link = EthernetLink()
+    assert link.wire_bytes(100) == 100 + MAC_FRAME_OVERHEAD_BYTES
+    assert link.wire_bytes(3000) == 3000 + 2 * MAC_FRAME_OVERHEAD_BYTES
+
+
+def test_transfer_time_scales_with_bandwidth():
+    fast = EthernetLink(bandwidth_bps=100e6)
+    slow = EthernetLink(bandwidth_bps=10e6)
+    payload = 10_000
+    assert slow.transfer_time(payload) == pytest.approx(
+        10 * fast.transfer_time(payload)
+    )
+    assert fast.transfer_time(0) == 0.0
+
+
+def test_100mbit_order_of_magnitude():
+    link = EthernetLink(bandwidth_bps=ETHERNET_100_MBIT)
+    # ~1250 bytes/10ms at 1 Mbit; at 100 Mbit a 1 kB payload ~83 us.
+    assert link.transfer_time(1000) == pytest.approx(
+        (1000 + MAC_FRAME_OVERHEAD_BYTES) * 8 / 100e6
+    )
+
+
+def test_send_accounts():
+    link = EthernetLink()
+    link.send(2000)
+    link.send(100)
+    assert link.bytes_sent == 2100
+    assert link.frames_sent == 3
+
+
+def test_round_trip_time_adds_latency():
+    link = EthernetLink(latency_s=1e-3)
+    rtt = link.round_trip_time(1000, 200)
+    assert rtt == pytest.approx(
+        link.transfer_time(1000) + link.transfer_time(200) + 1e-3
+    )
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        EthernetLink(bandwidth_bps=0)

@@ -1,0 +1,89 @@
+"""Platform performance-model tests (Table 3 calibration)."""
+
+import pytest
+
+from repro.emulation.perfmodel import (
+    DEFAULT_MPARM_MODEL,
+    EmulatorPerformanceModel,
+    TABLE3_ROWS,
+    fit_mparm_model,
+)
+from repro.util.units import MHZ
+
+
+def test_emulator_wall_clock_flat_in_system_size():
+    emu = EmulatorPerformanceModel()
+    cycles = 120_000_000
+    base = emu.wall_seconds(cycles)
+    assert base == pytest.approx(1.2)
+    # The paper's key observation: wall-clock does not grow with cores.
+    assert emu.wall_seconds(cycles, virtual_hz=500 * MHZ) == pytest.approx(base)
+
+
+def test_emulator_freezes_add():
+    emu = EmulatorPerformanceModel()
+    assert emu.wall_seconds(1_000_000, freeze_seconds=0.5) == pytest.approx(
+        0.01 + 0.5
+    )
+    with pytest.raises(ValueError):
+        emu.wall_seconds(-1)
+
+
+def test_fit_reproduces_published_speedups():
+    model = fit_mparm_model()
+    for name, (published, predicted, error) in model.fit_residuals.items():
+        assert abs(error) < 0.15, f"{name}: {published} vs {predicted:.0f}"
+
+
+def test_mparm_cost_grows_with_everything():
+    model = DEFAULT_MPARM_MODEL
+    base = model.seconds_per_cycle(cores=1, components=7)
+    assert model.seconds_per_cycle(cores=4, components=22) > base
+    assert model.seconds_per_cycle(cores=1, components=30) > base
+    assert model.seconds_per_cycle(cores=1, components=7, noc_switches=4) > base
+    assert model.seconds_per_cycle(cores=1, components=7, io_bound=True) > base
+    assert model.seconds_per_cycle(cores=1, components=7, thermal=True) > base
+
+
+def test_components_default_from_cores():
+    model = DEFAULT_MPARM_MODEL
+    assert model.seconds_per_cycle(cores=4) == pytest.approx(
+        model.seconds_per_cycle(cores=4, components=22)
+    )
+
+
+def test_mparm_rate_orders_of_magnitude():
+    """The Table 3 ratios imply a ~MHz-class single-core rate, dropping
+    several-fold by 8 cores (the text's 120 kHz quote is one of the
+    paper's internal inconsistencies — see the module docstring)."""
+    model = DEFAULT_MPARM_MODEL
+    rate_1core = model.rate_hz(cores=1, components=7)
+    rate_8core = model.rate_hz(cores=8, components=42)
+    assert 100e3 < rate_1core < 5e6
+    assert rate_8core < rate_1core / 4
+
+
+def test_speedup_shape_three_orders_of_magnitude():
+    """The headline claim: emulator-vs-simulator speedups grow from tens
+    to three orders of magnitude as the system grows."""
+    emu = EmulatorPerformanceModel()
+    model = DEFAULT_MPARM_MODEL
+    cycles = 120_000_000
+    speedups = []
+    for name, cores, comps, switches, io_bound, thermal, *_ in TABLE3_ROWS:
+        mparm = model.wall_seconds(cycles, cores, comps, switches, io_bound, thermal)
+        ours = emu.wall_seconds(cycles)
+        speedups.append(mparm / ours)
+    assert speedups[0] < speedups[2] < speedups[-1]
+    assert speedups[0] > 50
+    assert speedups[-1] > 1000
+
+
+def test_table3_rows_well_formed():
+    assert len(TABLE3_ROWS) == 6
+    for name, cores, comps, switches, io_bound, thermal, mparm_s, emu_s, speedup in (
+        TABLE3_ROWS
+    ):
+        assert cores >= 1 and comps > cores
+        assert mparm_s > emu_s
+        assert speedup > 1

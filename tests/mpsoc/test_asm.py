@@ -1,0 +1,201 @@
+"""Assembler tests: labels, directives, pseudo-ops, error reporting."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mpsoc import isa
+from repro.mpsoc.asm import AssemblyError, assemble
+
+
+def test_forward_and_backward_labels():
+    program = assemble(
+        """
+        main:   beq r0, r0, fwd
+        back:   addi r1, r1, 1
+        fwd:    bne r1, r0, back
+                halt
+        """
+    )
+    instrs = program.disassemble()
+    assert instrs[0].imm == 1  # to fwd: skip one instruction
+    assert instrs[2].imm == -2  # back to index 1
+
+
+def test_data_directives_and_symbols():
+    program = assemble(
+        """
+                .text
+        main:   la  r1, table
+                lw  r2, 0(r1)
+                halt
+                .data
+        table:  .word 1, 2, 0x10
+        bytes:  .byte 1, 2, 255
+                .align 4
+        buf:    .space 8
+        """
+    )
+    base = program.data_base
+    assert program.symbols["table"] == base
+    assert program.symbols["bytes"] == base + 12
+    assert program.symbols["buf"] == base + 16  # aligned past 15 bytes
+    assert program.data[0:4] == (1).to_bytes(4, "little")
+    assert program.data[14] == 255
+
+
+def test_word_with_symbol_reference():
+    program = assemble(
+        """
+                .text
+        main:   halt
+                .data
+        ptr:    .word target, target+4
+        target: .word 42
+        """
+    )
+    target = program.symbols["target"]
+    assert program.data[0:4] == target.to_bytes(4, "little")
+    assert program.data[4:8] == (target + 4).to_bytes(4, "little")
+
+
+def test_li_expansions():
+    program = assemble(
+        """
+        main:   li r1, 5
+                li r2, -5
+                li r3, 0xFFFF
+                li r4, 0x12345678
+                li r5, 0x00050000
+                halt
+        """
+    )
+    instrs = program.disassemble()
+    assert instrs[0].mnemonic == "addi" and instrs[0].imm == 5
+    assert instrs[1].mnemonic == "addi" and instrs[1].imm == -5
+    assert instrs[2].mnemonic == "ori" and instrs[2].imm == 0xFFFF
+    assert instrs[3].mnemonic == "lui" and instrs[3].imm == 0x1234
+    assert instrs[4].mnemonic == "ori" and instrs[4].imm == 0x5678
+    # 0x00050000 has zero low half: lui only.
+    assert instrs[5].mnemonic == "lui" and instrs[5].imm == 0x5
+
+
+@given(st.integers(min_value=0, max_value=0xFFFFFFFF))
+def test_li_loads_any_word(value):
+    """Property: li reproduces any 32-bit constant through the ISA."""
+    program = assemble(f"main: li r1, 0x{value:08x}\n      halt")
+    regs = [0] * 32
+    for instr in program.disassemble():
+        if instr.mnemonic == "addi":
+            regs[instr.rd] = (regs[instr.rs1] + instr.imm) & 0xFFFFFFFF
+        elif instr.mnemonic == "ori":
+            regs[instr.rd] = regs[instr.rs1] | instr.imm
+        elif instr.mnemonic == "lui":
+            regs[instr.rd] = (instr.imm << 16) & 0xFFFFFFFF
+    assert regs[1] == value
+
+
+def test_la_resolves_addresses():
+    program = assemble(
+        """
+                .text
+        main:   la r1, buf
+                halt
+                .data
+        buf:    .space 4
+        """,
+        text_base=0x100,
+    )
+    instrs = program.disassemble()
+    addr = program.symbols["buf"]
+    assert instrs[0].mnemonic == "lui" and instrs[0].imm == (addr >> 16) & 0xFFFF
+    assert instrs[1].mnemonic == "ori" and instrs[1].imm == addr & 0xFFFF
+
+
+def test_pseudo_ops():
+    program = assemble(
+        """
+        main:   mv   r1, r2
+                b    target
+                bgt  r1, r2, target
+                ble  r1, r2, target
+                neg  r3, r4
+        target: call func
+                ret
+        func:   jr r31
+        """
+    )
+    names = [i.mnemonic for i in program.disassemble()]
+    assert names == ["addi", "beq", "blt", "bge", "sub", "jal", "jr", "jr"]
+
+
+def test_entry_defaults_to_main():
+    program = assemble(
+        """
+        helper: nop
+        main:   halt
+        """
+    )
+    assert program.entry == 1
+
+
+def test_entry_zero_without_main():
+    assert assemble("start: halt").entry == 0
+
+
+def test_register_aliases():
+    program = assemble("main: add r1, zero, sp\n      jr ra")
+    instr = program.disassemble()[0]
+    assert instr.rs1 == 0 and instr.rs2 == 30
+    assert program.disassemble()[1].rs1 == 31
+
+
+def test_comments_and_blank_lines():
+    program = assemble(
+        """
+        # leading comment
+        main:   nop   ; trailing comment
+                nop   // c++ style
+                halt
+        """
+    )
+    assert len(program.code) == 3
+
+
+@pytest.mark.parametrize(
+    "source, fragment",
+    [
+        ("main: bogus r1, r2, r3", "unknown instruction"),
+        ("main: addi r1, r2", "expects 3 operand"),
+        ("main: addi r99, r0, 1", "bad register"),
+        ("main: j nowhere", "undefined symbol"),
+        ("main: halt\nmain: halt", "duplicate label"),
+        (".word 5", "outside .data"),
+        ("main: addi r1, r0, 99999", "out of i16 range"),
+        ("main: halt\n.data\nx: .byte 300", "bad byte"),
+        ("main: halt\n.bogus 3", "unknown directive"),
+    ],
+)
+def test_error_reporting(source, fragment):
+    with pytest.raises(AssemblyError) as excinfo:
+        assemble(source)
+    assert fragment in str(excinfo.value)
+
+
+def test_branch_to_data_symbol_rejected():
+    with pytest.raises(AssemblyError):
+        assemble(
+            """
+            main: beq r0, r0, blob
+                  halt
+                  .data
+            blob: .word 1
+            """
+        )
+
+
+def test_program_sizes_and_disassembly_roundtrip():
+    program = assemble("main: addi r1, r0, 1\n      halt\n.data\nx: .word 7")
+    assert program.text_size == 8
+    assert program.data_size == 4
+    for word, instr in zip(program.code, program.disassemble()):
+        assert isa.decode(word) == instr

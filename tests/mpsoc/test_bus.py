@@ -1,0 +1,179 @@
+"""Bus and arbiter tests, including arbitration fairness properties."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mpsoc.bus import (
+    ARB_FIXED_PRIORITY,
+    ARB_ROUND_ROBIN,
+    ARB_TDMA,
+    Arbiter,
+    Bus,
+    BusConfig,
+)
+from repro.mpsoc.memory import Memory, MemoryConfig
+
+
+def make_bus(num_masters=2, **cfg):
+    config = BusConfig(name="bus", **cfg)
+    return Bus(config, num_masters=num_masters)
+
+
+def make_slave(latency=2):
+    return Memory(MemoryConfig(name="slave", size=4096, latency=latency))
+
+
+def test_config_kind_defaults():
+    opb = BusConfig(name="b", kind="opb")
+    plb = BusConfig(name="b", kind="plb")
+    assert opb.arb_cycles > plb.arb_cycles  # OPB is the slower bus
+    with pytest.raises(ValueError):
+        BusConfig(name="b", kind="bogus")
+    with pytest.raises(ValueError):
+        BusConfig(name="b", arbitration="bogus")
+    with pytest.raises(ValueError):
+        BusConfig(name="b", width_bits=33)
+
+
+def test_occupancy_math():
+    bus = make_bus()  # custom: arb 1 + addr 1 + beats
+    assert bus.occupancy_cycles(1) == 3
+    assert bus.occupancy_cycles(4) == 6
+    wide = make_bus(width_bits=64)
+    assert wide.occupancy_cycles(4) == 4  # two 64-bit beats
+
+
+def test_single_transfer_latency():
+    bus = make_bus()
+    slave = make_slave(latency=2)
+    latency = bus.transfer(0, slave, 0x0, False, 1, t=0)
+    assert latency == 3 + 2  # occupancy + slave
+    assert bus.stats()["transactions"] == 1
+    assert bus.stats()["wait_cycles"] == 0
+
+
+def test_contention_serializes():
+    bus = make_bus()
+    slave = make_slave(latency=2)
+    first = bus.transfer(0, slave, 0x0, False, 1, t=0)
+    second = bus.transfer(1, slave, 0x4, False, 1, t=0)
+    assert first == 5
+    assert second == 10  # waited for the first transaction
+    assert bus.per_master_wait[1] == 5
+
+
+def test_bus_frees_after_transactions():
+    bus = make_bus()
+    slave = make_slave(latency=2)
+    bus.transfer(0, slave, 0, False, 1, t=0)
+    late = bus.transfer(1, slave, 4, False, 1, t=100)
+    assert late == 5  # no waiting long after
+
+
+def test_utilization():
+    bus = make_bus()
+    slave = make_slave()
+    bus.transfer(0, slave, 0, False, 1, t=0)
+    assert 0 < bus.utilization(100) < 1
+    assert bus.utilization(0) == 0.0
+
+
+def test_transfer_validates_inputs():
+    bus = make_bus()
+    slave = make_slave()
+    with pytest.raises(ValueError):
+        bus.transfer(9, slave, 0, False, 1, 0)
+    with pytest.raises(ValueError):
+        bus.transfer(0, slave, 0, False, 0, 0)
+
+
+def test_tdma_waits_for_slot():
+    bus = make_bus(num_masters=2, arbitration=ARB_TDMA, tdma_slot_cycles=10)
+    slave = make_slave(latency=1)
+    # Master 1's slot is cycles [10, 20) of each 20-cycle frame.
+    latency = bus.transfer(1, slave, 0, False, 1, t=0)
+    assert latency >= 10  # had to wait for its slot
+
+
+# -- Arbiter unit + property tests ------------------------------------------------
+
+
+def test_fixed_priority_prefers_lowest_id():
+    arb = Arbiter(ARB_FIXED_PRIORITY, 4)
+    assert arb.pick([3, 1, 2], cycle=0) == 1
+
+
+def test_round_robin_rotates():
+    arb = Arbiter(ARB_ROUND_ROBIN, 3)
+    grants = [arb.pick([0, 1, 2], cycle=i) for i in range(6)]
+    assert grants == [0, 1, 2, 0, 1, 2]
+
+
+def test_round_robin_skips_idle_masters():
+    arb = Arbiter(ARB_ROUND_ROBIN, 3)
+    assert arb.pick([2], 0) == 2
+    assert arb.pick([0, 1], 1) == 0
+
+
+def test_tdma_only_grants_slot_owner():
+    arb = Arbiter(ARB_TDMA, 2, tdma_slot_cycles=4)
+    assert arb.pick([0, 1], cycle=0) == 0
+    assert arb.pick([0, 1], cycle=4) == 1
+    assert arb.pick([0], cycle=5) is None  # slot belongs to master 1
+
+
+def test_tdma_slot_wait():
+    arb = Arbiter(ARB_TDMA, 2, tdma_slot_cycles=4)
+    assert arb.slot_wait(0, 0) == 0
+    assert arb.slot_wait(1, 0) == 4
+    assert arb.slot_wait(0, 5) == 3  # next frame
+
+
+def test_arbiter_validates():
+    with pytest.raises(ValueError):
+        Arbiter(ARB_FIXED_PRIORITY, 0)
+    arb = Arbiter(ARB_FIXED_PRIORITY, 2)
+    with pytest.raises(ValueError):
+        arb.pick([5], 0)
+    assert arb.pick([], 0) is None
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    requests=st.lists(
+        st.sets(st.integers(min_value=0, max_value=3), min_size=1, max_size=4),
+        min_size=20,
+        max_size=100,
+    )
+)
+def test_round_robin_is_starvation_free(requests):
+    """Property: under continuous request, every master is granted within
+    ``num_masters`` grants of its first request (no starvation)."""
+    arb = Arbiter(ARB_ROUND_ROBIN, 4)
+    waiting_since = {}
+    for cycle, reqs in enumerate(requests):
+        for master in reqs:
+            waiting_since.setdefault(master, 0)
+        granted = arb.pick(sorted(reqs), cycle)
+        assert granted in reqs
+        waiting_since.pop(granted, None)
+        for master in list(waiting_since):
+            if master in reqs:
+                waiting_since[master] += 1
+                assert waiting_since[master] <= 4, f"master {master} starved"
+            else:
+                waiting_since.pop(master)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    policy=st.sampled_from([ARB_FIXED_PRIORITY, ARB_ROUND_ROBIN, ARB_TDMA]),
+    reqs=st.sets(st.integers(min_value=0, max_value=3), min_size=1, max_size=4),
+    cycle=st.integers(min_value=0, max_value=1000),
+)
+def test_arbiter_grants_only_requesters(policy, reqs, cycle):
+    arb = Arbiter(policy, 4)
+    granted = arb.pick(sorted(reqs), cycle)
+    assert granted is None or granted in reqs
+    if policy != ARB_TDMA:
+        assert granted is not None

@@ -1,0 +1,66 @@
+"""Event taxonomy / Observable / CounterBlock tests."""
+
+from repro.mpsoc import events as ev
+from repro.mpsoc.events import CounterBlock, Event, Observable
+
+
+class _Component(Observable):
+    pass
+
+
+def test_event_kinds_unique():
+    assert len(set(ev.ALL_EVENT_KINDS)) == len(ev.ALL_EVENT_KINDS)
+
+
+def test_observable_without_hooks_is_cheap():
+    comp = _Component()
+    assert not comp.has_hooks
+    comp.emit(0, "c", ev.CACHE_HIT)  # no hooks: no observable effect
+
+
+def test_hooks_receive_events():
+    comp = _Component()
+    seen = []
+    comp.attach_hook(seen.append)
+    comp.emit(5, "c", ev.MEM_READ, (0x40, 4))
+    assert seen == [Event(5, "c", ev.MEM_READ, (0x40, 4))]
+    assert comp.has_hooks
+
+
+def test_multiple_hooks_all_called():
+    comp = _Component()
+    a, b = [], []
+    comp.attach_hook(a.append)
+    comp.attach_hook(b.append)
+    comp.emit(1, "c", ev.BUS_TXN)
+    assert len(a) == 1 and len(b) == 1
+
+
+def test_detach_hook():
+    comp = _Component()
+    seen = []
+    comp.attach_hook(seen.append)
+    comp.detach_hook(seen.append)
+    comp.emit(1, "c", ev.BUS_TXN)
+    assert seen == []
+
+
+def test_counter_block():
+    block = CounterBlock("x")
+    block.add("hits")
+    block.add("hits", 4)
+    block.add("misses")
+    assert block.get("hits") == 5
+    assert block.get("misses") == 1
+    assert block.get("absent") == 0
+    snap = block.snapshot()
+    block.add("hits")
+    assert snap["hits"] == 5  # snapshot is a copy
+    block.reset()
+    assert block.get("hits") == 0
+
+
+def test_event_is_frozen_value_object():
+    event = Event(1, "src", ev.CACHE_MISS, (0x10,))
+    assert event == Event(1, "src", ev.CACHE_MISS, (0x10,))
+    assert event != Event(2, "src", ev.CACHE_MISS, (0x10,))

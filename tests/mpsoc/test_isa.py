@@ -1,0 +1,120 @@
+"""ISA encoding/decoding unit and property tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mpsoc import isa
+from repro.mpsoc.isa import (
+    FMT_B,
+    FMT_I,
+    FMT_J,
+    FMT_R,
+    IMM16_MAX,
+    IMM16_MIN,
+    IMM21_MAX,
+    Instruction,
+    IsaError,
+    OPS_BY_CODE,
+    OPS_BY_NAME,
+    UIMM16_MAX,
+    decode,
+    sign_extend,
+    to_signed,
+    to_unsigned,
+)
+
+REG = st.integers(min_value=0, max_value=31)
+
+
+def _imm_strategy(spec):
+    if spec.fmt == FMT_J:
+        return st.integers(min_value=0, max_value=IMM21_MAX)
+    if spec.fmt == FMT_B:
+        return st.integers(min_value=IMM16_MIN, max_value=IMM16_MAX)
+    if spec.fmt == FMT_I:
+        if spec.signed_imm:
+            return st.integers(min_value=IMM16_MIN, max_value=IMM16_MAX)
+        return st.integers(min_value=0, max_value=UIMM16_MAX)
+    return st.just(0)
+
+
+@st.composite
+def instructions(draw):
+    spec = draw(st.sampled_from(sorted(OPS_BY_NAME.values(), key=lambda s: s.opcode)))
+    imm = draw(_imm_strategy(spec))
+    if spec.fmt == FMT_R:
+        return Instruction(spec.mnemonic, rd=draw(REG), rs1=draw(REG), rs2=draw(REG))
+    if spec.fmt == FMT_I:
+        return Instruction(spec.mnemonic, rd=draw(REG), rs1=draw(REG), imm=imm)
+    if spec.fmt == FMT_B:
+        return Instruction(spec.mnemonic, rs1=draw(REG), rs2=draw(REG), imm=imm)
+    return Instruction(spec.mnemonic, rd=draw(REG), imm=imm)
+
+
+@given(instructions())
+def test_encode_decode_roundtrip(instr):
+    assert decode(instr.encode()) == instr
+
+
+@given(instructions())
+def test_encoding_is_32_bits(instr):
+    word = instr.encode()
+    assert 0 <= word <= 0xFFFFFFFF
+
+
+def test_opcode_tables_are_consistent():
+    assert len(OPS_BY_NAME) == len(OPS_BY_CODE)
+    for name, spec in OPS_BY_NAME.items():
+        assert spec.mnemonic == name
+        assert OPS_BY_CODE[spec.opcode] is spec
+
+
+def test_every_class_is_known():
+    for spec in OPS_BY_NAME.values():
+        assert spec.cls in isa.INSTRUCTION_CLASSES
+
+
+def test_decode_rejects_unknown_opcode():
+    with pytest.raises(IsaError):
+        decode(0x3E << 26)  # unassigned opcode
+
+
+def test_encode_rejects_out_of_range_register():
+    with pytest.raises(IsaError):
+        Instruction("add", rd=32).encode()
+
+
+def test_encode_rejects_out_of_range_signed_immediate():
+    with pytest.raises(IsaError):
+        Instruction("addi", rd=1, rs1=0, imm=40000).encode()
+
+
+def test_encode_rejects_negative_unsigned_immediate():
+    with pytest.raises(IsaError):
+        Instruction("ori", rd=1, rs1=0, imm=-1).encode()
+
+
+def test_encode_rejects_unknown_mnemonic():
+    with pytest.raises(IsaError):
+        Instruction("frobnicate").encode()
+
+
+@given(st.integers(min_value=0, max_value=0xFFFF))
+def test_sign_extend_16(value):
+    extended = sign_extend(value, 16)
+    assert -(1 << 15) <= extended <= (1 << 15) - 1
+    assert extended & 0xFFFF == value
+
+
+@given(st.integers(min_value=-(2**31), max_value=2**31 - 1))
+def test_signed_unsigned_roundtrip(value):
+    assert to_signed(to_unsigned(value)) == value
+
+
+def test_str_formats():
+    assert str(Instruction("add", rd=1, rs1=2, rs2=3)) == "add r1, r2, r3"
+    assert str(Instruction("lw", rd=4, rs1=5, imm=-8)) == "lw r4, -8(r5)"
+    assert str(Instruction("beq", rs1=1, rs2=0, imm=-2)) == "beq r1, r0, -2"
+    assert str(Instruction("jal", rd=31, imm=7)) == "jal r31, 7"
+    assert str(Instruction("halt")) == "halt"
+    assert str(Instruction("jr", rs1=31)) == "jr r31"

@@ -1,0 +1,132 @@
+"""Memory-controller tests: decode, cache embedding, VPCM suppression."""
+
+import pytest
+
+from repro.mpsoc.cache import Cache, CacheConfig, WRITE_BACK
+from repro.mpsoc.memctrl import AccessFault, AddressRange, MemoryController
+from repro.mpsoc.memory import Memory, MemoryConfig
+
+
+def make_ctrl(cacheable=True, latency=1, physical=None, dcache=None):
+    ctrl = MemoryController("ctrl", dcache=dcache)
+    mem = Memory(
+        MemoryConfig(name="m", size=4096, latency=latency, physical_latency=physical)
+    )
+    ctrl.add_range(
+        AddressRange(name="ram", base=0x1000, size=4096, target=mem, cacheable=cacheable)
+    )
+    return ctrl, mem
+
+
+def test_decode_and_fault():
+    ctrl, _ = make_ctrl()
+    assert ctrl.decode(0x1000).name == "ram"
+    assert ctrl.decode(0x1FFF).name == "ram"
+    with pytest.raises(AccessFault):
+        ctrl.decode(0x0FFF)
+    with pytest.raises(AccessFault):
+        ctrl.decode(0x2000)
+
+
+def test_overlapping_ranges_rejected():
+    ctrl, mem = make_ctrl()
+    with pytest.raises(ValueError):
+        ctrl.add_range(
+            AddressRange(name="dup", base=0x1800, size=16, target=mem)
+        )
+
+
+def test_interconnect_range_requires_master_id():
+    with pytest.raises(ValueError):
+        AddressRange(name="x", base=0, size=4, target=None, via=object())
+
+
+def test_functional_read_write():
+    ctrl, mem = make_ctrl()
+    ctrl.write_value(0x1004, 4, 0xABCD)
+    assert ctrl.read_value(0x1004, 4) == 0xABCD
+    assert mem.read_word(4) == 0xABCD
+    ctrl.write_value(0x1008, 1, 0x7F)
+    assert ctrl.read_value(0x1008, 1) == 0x7F
+
+
+def test_uncached_latency_is_memory_latency():
+    ctrl, _ = make_ctrl(cacheable=False, latency=7)
+    value, latency = ctrl.load(0x1000, 4, t=0)
+    assert latency == 7
+
+
+def test_cached_load_miss_then_hit():
+    dcache = Cache(CacheConfig(name="d", size=256, line_size=16, hit_latency=1))
+    ctrl, _ = make_ctrl(latency=5, dcache=dcache)
+    _, miss_latency = ctrl.load(0x1000, 4, t=0)
+    # hit latency + line fill (latency 5 + 3 extra words)
+    assert miss_latency == 1 + 5 + 3
+    _, hit_latency = ctrl.load(0x1004, 4, t=20)
+    assert hit_latency == 1
+
+
+def test_write_back_eviction_charges_two_transfers():
+    dcache = Cache(
+        CacheConfig(
+            name="d", size=64, line_size=16, assoc=1, write_policy=WRITE_BACK
+        )
+    )
+    ctrl, _ = make_ctrl(latency=4, dcache=dcache)
+    ctrl.store(0x1000, 4, 1, t=0)  # allocate dirty (fill)
+    latency = ctrl.store(0x1040, 4, 2, t=50)  # same set: writeback + fill
+    fill = 4 + 3
+    assert latency == 1 + fill + fill  # hit_lat + writeback + fill
+
+
+def test_suppression_hook_called_for_slow_physical_memory():
+    ctrl, _ = make_ctrl(cacheable=False, latency=2, physical=10)
+    seen = []
+    ctrl.clk_suppression_hook = seen.append
+    ctrl.load(0x1000, 4, t=0)
+    assert seen == [8]
+    stats = ctrl.stats()
+    assert stats["clk_suppression_requests"] == 1
+    assert stats["suppressed_real_cycles"] == 8
+
+
+def test_no_suppression_when_physical_meets_latency():
+    ctrl, _ = make_ctrl(cacheable=False, latency=5, physical=5)
+    seen = []
+    ctrl.clk_suppression_hook = seen.append
+    ctrl.load(0x1000, 4, t=0)
+    assert seen == []
+
+
+class _FakeMmio:
+    def __init__(self):
+        self.writes = []
+
+    def mmio_read(self, offset):
+        return offset + 100
+
+    def mmio_write(self, offset, value):
+        self.writes.append((offset, value))
+
+
+def test_mmio_routing():
+    ctrl, _ = make_ctrl()
+    mmio = _FakeMmio()
+    ctrl.add_range(
+        AddressRange(name="mmio", base=0x8000, size=64, target=mmio, is_mmio=True)
+    )
+    value, latency = ctrl.load(0x8004, 4, t=0)
+    assert value == 104 and latency == 1
+    ctrl.store(0x8008, 4, 77, t=0)
+    assert mmio.writes == [(8, 77)]
+
+
+def test_stats_counts_paths():
+    ctrl, _ = make_ctrl()
+    ctrl.fetch_timing(0x1000, 0)
+    ctrl.load(0x1000, 4, 1)
+    ctrl.store(0x1004, 4, 5, 2)
+    stats = ctrl.stats()
+    assert stats["fetches"] == 1
+    assert stats["loads"] == 1
+    assert stats["stores"] == 1

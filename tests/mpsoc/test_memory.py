@@ -1,0 +1,101 @@
+"""Memory model tests: functional store, timing, physical penalties."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mpsoc.memory import Memory, MemoryConfig, MemoryError_
+
+
+def make_memory(size=1024, latency=2, physical=None):
+    return Memory(
+        MemoryConfig(name="m", size=size, latency=latency, physical_latency=physical)
+    )
+
+
+def test_word_roundtrip():
+    mem = make_memory()
+    mem.write_word(8, 0xDEADBEEF)
+    assert mem.read_word(8) == 0xDEADBEEF
+
+
+def test_byte_roundtrip_and_endianness():
+    mem = make_memory()
+    mem.write_word(0, 0x11223344)
+    assert mem.read_byte(0) == 0x44
+    assert mem.read_byte(3) == 0x11
+    mem.write_byte(1, 0xAB)
+    assert mem.read_word(0) == 0x1122AB44
+
+
+def test_out_of_range_rejected():
+    mem = make_memory(size=16)
+    with pytest.raises(MemoryError_):
+        mem.read_word(16)
+    with pytest.raises(MemoryError_):
+        mem.write_byte(-1, 0)
+
+
+def test_misaligned_word_rejected():
+    mem = make_memory()
+    with pytest.raises(MemoryError_):
+        mem.read_word(2)
+
+
+def test_load_blob_bounds():
+    mem = make_memory(size=8)
+    mem.load_blob(0, b"\x01\x02")
+    assert mem.read_byte(0) == 1
+    with pytest.raises(MemoryError_):
+        mem.load_blob(6, b"\x00" * 4)
+
+
+def test_burst_latency_is_pipelined():
+    mem = make_memory(latency=5)
+    assert mem.access_latency(1) == 5
+    assert mem.access_latency(4) == 8  # 5 + 3 streaming beats
+
+
+def test_physical_penalty():
+    mem = make_memory(latency=2, physical=10)
+    assert mem.physical_penalty(1) == 8
+    assert mem.physical_penalty(4) == 32
+    fast = make_memory(latency=5, physical=2)
+    assert fast.physical_penalty(1) == 0  # faster device: no penalty
+
+
+def test_access_recording():
+    mem = make_memory()
+    mem.record_access(0, is_write=False, nwords=4)
+    mem.record_access(1, is_write=True, nwords=1)
+    assert mem.stats() == {"reads": 4, "writes": 1}
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        MemoryConfig(name="m", size=0)
+    with pytest.raises(ValueError):
+        MemoryConfig(name="m", size=16, latency=0)
+    with pytest.raises(ValueError):
+        MemoryConfig(name="m", size=16, latency=1, physical_latency=0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=255).map(lambda o: o * 4),
+            st.integers(min_value=0, max_value=0xFFFFFFFF),
+        ),
+        min_size=1,
+        max_size=60,
+    )
+)
+def test_last_write_wins(ops):
+    """Property: memory behaves as a map from word address to last write."""
+    mem = make_memory(size=1024)
+    model = {}
+    for offset, value in ops:
+        mem.write_word(offset, value)
+        model[offset] = value
+    for offset, value in model.items():
+        assert mem.read_word(offset) == value

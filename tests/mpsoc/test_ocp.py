@@ -1,0 +1,37 @@
+"""OCP transaction record tests."""
+
+import pytest
+
+from repro.mpsoc.ocp import CMD_READ, CMD_WRITE, OcpRequest, OcpResponse
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        OcpRequest(master="m", cmd="XX", addr=0)
+    with pytest.raises(ValueError):
+        OcpRequest(master="m", cmd=CMD_READ, addr=0, burst_len=0)
+
+
+def test_read_flit_counts():
+    req = OcpRequest(master="m", cmd=CMD_READ, addr=0x40, burst_len=4)
+    assert not req.is_write
+    assert req.request_flits() == 2  # header + address
+    assert req.response_flits() == 5  # header + 4 data words
+
+
+def test_write_flit_counts():
+    req = OcpRequest(master="m", cmd=CMD_WRITE, addr=0x40, burst_len=4)
+    assert req.is_write
+    assert req.request_flits() == 6  # header + address + 4 data words
+    assert req.response_flits() == 1  # ack
+
+
+def test_single_word_read():
+    req = OcpRequest(master="m", cmd=CMD_READ, addr=0)
+    assert req.request_flits() == 2
+    assert req.response_flits() == 2
+
+
+def test_response_record():
+    resp = OcpResponse(master="m", cmd=CMD_READ, addr=0x40, latency=17)
+    assert resp.latency == 17

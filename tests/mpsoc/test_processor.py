@@ -1,0 +1,272 @@
+"""Processor semantics and timing-accounting tests.
+
+Each semantic test assembles a tiny program, runs it on a single-core
+platform and checks architectural state; wraparound semantics are
+cross-checked against Python's own two's-complement arithmetic with
+hypothesis.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mpsoc import build_platform
+from repro.mpsoc.asm import assemble
+from repro.mpsoc.processor import CORE_SPECS, ExecutionError, Processor
+from tests.conftest import small_config
+
+I32 = st.integers(min_value=-(2**31), max_value=2**31 - 1)
+
+
+def run_source(source, core_spec="microblaze", max_instructions=100000):
+    from repro.mpsoc.platform import CoreConfig
+
+    config = small_config(1, cores=[CoreConfig("cpu0", spec=core_spec)])
+    platform = build_platform(config)
+    program = assemble(source)
+    platform.load_program(0, program)
+    platform.cores[0].run(max_instructions=max_instructions)
+    return platform
+
+
+def regs_after(source, **kwargs):
+    return run_source(source, **kwargs).cores[0].regs
+
+
+def test_arithmetic_basics():
+    regs = regs_after(
+        """
+        main:   li   r1, 7
+                li   r2, 3
+                add  r3, r1, r2
+                sub  r4, r1, r2
+                mul  r5, r1, r2
+                div  r6, r1, r2
+                rem  r7, r1, r2
+                halt
+        """
+    )
+    assert regs[3] == 10
+    assert regs[4] == 4
+    assert regs[5] == 21
+    assert regs[6] == 2
+    assert regs[7] == 1
+
+
+def test_division_truncates_toward_zero():
+    regs = regs_after(
+        """
+        main:   li   r1, -7
+                li   r2, 2
+                div  r3, r1, r2
+                rem  r4, r1, r2
+                halt
+        """
+    )
+    # C semantics: -7 / 2 == -3, -7 % 2 == -1.
+    assert regs[3] == (-3) & 0xFFFFFFFF
+    assert regs[4] == (-1) & 0xFFFFFFFF
+
+
+def test_division_by_zero_is_defined():
+    regs = regs_after(
+        """
+        main:   li   r1, 9
+                li   r2, 0
+                div  r3, r1, r2
+                rem  r4, r1, r2
+                halt
+        """
+    )
+    assert regs[3] == 0xFFFFFFFF  # -1, the usual RISC convention
+    assert regs[4] == 9
+
+
+def test_logic_and_shifts():
+    regs = regs_after(
+        """
+        main:   li   r1, 0xF0F0
+                li   r2, 0x0FF0
+                and  r3, r1, r2
+                or   r4, r1, r2
+                xor  r5, r1, r2
+                slli r6, r1, 4
+                srli r7, r1, 4
+                li   r8, -16
+                srai r9, r8, 2
+                halt
+        """
+    )
+    assert regs[3] == 0x0FF0 & 0xF0F0
+    assert regs[4] == 0xFFF0
+    assert regs[5] == 0xF0F0 ^ 0x0FF0
+    assert regs[6] == 0xF0F00
+    assert regs[7] == 0xF0F
+    assert regs[9] == (-4) & 0xFFFFFFFF
+
+
+def test_comparisons_signed_unsigned():
+    regs = regs_after(
+        """
+        main:   li   r1, -1
+                li   r2, 1
+                slt  r3, r1, r2
+                sltu r4, r1, r2
+                slti r5, r1, 0
+                halt
+        """
+    )
+    assert regs[3] == 1  # -1 < 1 signed
+    assert regs[4] == 0  # 0xFFFFFFFF > 1 unsigned
+    assert regs[5] == 1
+
+
+def test_r0_is_hardwired_zero():
+    regs = regs_after("main: li r0, 55\n      addi r0, r0, 1\n      halt")
+    assert regs[0] == 0
+
+
+def test_memory_byte_and_word_access():
+    platform = run_source(
+        """
+                .text
+        main:   la   r1, buf
+                li   r2, 0x11223344
+                sw   r2, 0(r1)
+                lbu  r3, 0(r1)
+                lbu  r4, 3(r1)
+                li   r5, 0x80
+                sb   r5, 1(r1)
+                lw   r6, 0(r1)
+                lb   r7, 1(r1)
+                halt
+                .data
+        buf:    .space 8
+        """
+    )
+    regs = platform.cores[0].regs
+    assert regs[3] == 0x44  # little-endian low byte
+    assert regs[4] == 0x11
+    assert regs[6] == 0x11228044
+    assert regs[7] == 0xFFFFFF80  # lb sign-extends
+
+
+def test_branches_and_jumps():
+    regs = regs_after(
+        """
+        main:   li   r1, 0
+                li   r2, 5
+        loop:   addi r1, r1, 1
+                blt  r1, r2, loop
+                jal  r31, func
+                li   r4, 9
+                halt
+        func:   li   r3, 42
+                jr   r31
+        """
+    )
+    assert regs[1] == 5
+    assert regs[3] == 42
+    assert regs[4] == 9
+
+
+def test_jalr_indirect_call():
+    regs = regs_after(
+        """
+        main:   la   r1, 0        # will hold instruction index of func
+                li   r1, 5        # index of func below (counted by hand)
+                jalr r31, r1
+                li   r3, 1
+                halt
+        func:   li   r2, 7
+                jr   r31
+        """
+    )
+    assert regs[2] == 7
+    assert regs[3] == 1
+
+
+@settings(max_examples=25, deadline=None)
+@given(I32, I32)
+def test_add_wraps_like_two_complement(a, b):
+    platform = run_source(
+        f"""
+        main:   li r1, 0x{a & 0xFFFFFFFF:08x}
+                li r2, 0x{b & 0xFFFFFFFF:08x}
+                add r3, r1, r2
+                sub r4, r1, r2
+                mul r5, r1, r2
+                halt
+        """
+    )
+    regs = platform.cores[0].regs
+    assert regs[3] == (a + b) & 0xFFFFFFFF
+    assert regs[4] == (a - b) & 0xFFFFFFFF
+    assert regs[5] == (a * b) & 0xFFFFFFFF
+
+
+def test_misaligned_word_access_raises():
+    with pytest.raises(ExecutionError):
+        run_source(
+            """
+            main:   li r1, 2
+                    lw r2, 0(r1)
+                    halt
+            """
+        )
+
+
+def test_pc_out_of_range_raises():
+    with pytest.raises(ExecutionError):
+        run_source("main: j 1000")
+
+
+def test_cycle_accounting_sums():
+    platform = run_source(
+        """
+        main:   li   r1, 100
+        loop:   addi r1, r1, -1
+                bgt  r1, r0, loop
+                halt
+        """
+    )
+    core = platform.cores[0]
+    stats = core.stats()
+    # li (one addi) + 100 x (addi + bgt) + halt
+    assert stats["instructions"] == 1 + 2 * 100 + 1
+    assert stats["cycles"] == stats["active_cycles"] + stats["stall_cycles"]
+    assert stats["cpi"] == pytest.approx(stats["cycles"] / stats["instructions"])
+
+
+def test_idle_accounting():
+    platform = run_source("main: halt")
+    core = platform.cores[0]
+    before = core.cycle
+    core.idle_until(before + 50)
+    assert core.idle_cycles == 50
+    assert core.cycle == before + 50
+
+
+def test_core_specs_complete():
+    from repro.mpsoc import isa
+
+    for name, spec in CORE_SPECS.items():
+        assert spec.name == name
+        for cls in isa.INSTRUCTION_CLASSES:
+            assert spec.cycles_for(cls) >= 1
+        assert spec.default_hz > 0
+
+
+def test_step_on_halted_core_is_noop(platform1):
+    core = platform1.cores[0]
+    assert core.halted
+    assert core.step() == 0
+
+
+def test_reset_stats(platform1):
+    program = assemble("main: addi r1, r0, 1\n      halt")
+    platform1.load_program(0, program)
+    platform1.cores[0].run()
+    platform1.cores[0].reset_stats()
+    stats = platform1.cores[0].stats()
+    assert stats["instructions"] == 0
+    assert stats["active_cycles"] == 0

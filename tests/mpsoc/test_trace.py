@@ -1,0 +1,102 @@
+"""Trace-driven core tests."""
+
+import pytest
+
+from repro.emulation.engine import EventDrivenEngine
+from repro.mpsoc import build_platform
+from repro.mpsoc.platform import SHARED_BASE
+from repro.mpsoc.trace import TraceCore, TraceOp, strided_trace
+from tests.conftest import small_config
+
+
+def make_trace_core(trace, repeat=1, platform=None):
+    platform = platform or build_platform(small_config(1))
+    core = TraceCore("t0", platform.memctrls[0], trace, repeat=repeat)
+    return platform, core
+
+
+def test_trace_op_validation():
+    with pytest.raises(ValueError):
+        TraceOp(gap=-1)
+    with pytest.raises(ValueError):
+        TraceOp(addr=0, size=2)
+    with pytest.raises(ValueError):
+        strided_trace(0, 0)
+
+
+def test_pure_compute_trace():
+    _, core = make_trace_core([TraceOp(gap=10), TraceOp(gap=5)])
+    core.run()
+    assert core.halted
+    assert core.cycle == 15
+    assert core.instructions == 2
+    assert core.stats()["active_cycles"] == 15
+
+
+def test_memory_accesses_through_hierarchy():
+    platform, core = make_trace_core(
+        [TraceOp(gap=0, addr=0x100, is_write=True),
+         TraceOp(gap=0, addr=0x100, is_write=False)]
+    )
+    core.run()
+    # The write-through D-cache saw both accesses.
+    assert platform.dcaches[0].stats()["accesses"] == 2
+
+
+def test_repeat_loops_the_trace():
+    _, once = make_trace_core([TraceOp(gap=3)], repeat=1)
+    once.run()
+    _, many = make_trace_core([TraceOp(gap=3)], repeat=5)
+    many.run()
+    assert many.cycle == 5 * once.cycle
+    assert many.instructions == 5
+
+
+def test_repeat_validation():
+    with pytest.raises(ValueError):
+        make_trace_core([TraceOp(gap=1)], repeat=0)
+
+
+def test_shared_traffic_crosses_interconnect():
+    platform = build_platform(small_config(1))
+    trace = strided_trace(SHARED_BASE, 16, stride=4, reads_per_write=3)
+    core = TraceCore("t0", platform.memctrls[0], trace)
+    core.run()
+    stats = platform.interconnect.stats()
+    assert stats["transactions"] == 16
+    assert platform.shared_mem.stats()["writes"] == 4  # every 4th access
+
+
+def test_strided_trace_shape():
+    trace = strided_trace(0x0, 8, stride=8, reads_per_write=1, gap=3)
+    assert len(trace) == 8
+    assert trace[0].addr == 0 and trace[1].addr == 8
+    assert not trace[0].is_write and trace[1].is_write
+    assert all(op.gap == 3 for op in trace)
+
+
+def test_trace_core_stalls_on_slow_memory():
+    platform = build_platform(small_config(1, shared_mem_latency=20))
+    trace = strided_trace(SHARED_BASE, 4, reads_per_write=0)
+    core = TraceCore("t0", platform.memctrls[0], trace)
+    core.run()
+    assert core.stall_cycles > 4 * 10  # slow shared accesses stall
+
+
+def test_trace_core_in_engine_window():
+    """TraceCore is engine-compatible: windows, idling, completion."""
+    platform = build_platform(small_config(1))
+    trace = [TraceOp(gap=4, addr=0x40 + 4 * i) for i in range(50)]
+    platform.cores[0] = TraceCore("t0", platform.memctrls[0], trace)
+    engine = EventDrivenEngine(platform)
+    engine.run_window(100)
+    assert not platform.cores[0].halted
+    engine.run_window(10**6)
+    assert platform.cores[0].halted
+    assert platform.cores[0].idle_cycles > 0
+
+
+def test_empty_trace_is_halted():
+    _, core = make_trace_core([])
+    assert core.halted
+    assert core.step() == 0

@@ -1,0 +1,63 @@
+"""Table 1 power-library tests."""
+
+import pytest
+
+from repro.power.library import DEFAULT_LIBRARY, PowerClass, PowerLibrary
+from repro.util.units import MHZ, MM2, MW, W
+
+
+def test_table1_values():
+    lib = DEFAULT_LIBRARY
+    assert lib["arm7"].max_power == pytest.approx(5.5 * MW)
+    assert lib["arm7"].power_density == pytest.approx(0.03 / MM2)
+    assert lib["arm11"].max_power == pytest.approx(1.5 * W)
+    assert lib["arm11"].power_density == pytest.approx(0.5 / MM2)
+    assert lib["dcache_8k_2w"].max_power == pytest.approx(43 * MW)
+    assert lib["dcache_8k_2w"].power_density == pytest.approx(0.012 / MM2)
+    assert lib["icache_8k_dm"].max_power == pytest.approx(11 * MW)
+    assert lib["icache_8k_dm"].power_density == pytest.approx(0.03 / MM2)
+    assert lib["sram_32k"].max_power == pytest.approx(15 * MW)
+    assert lib["sram_32k"].power_density == pytest.approx(0.02 / MM2)
+
+
+def test_areas_follow_from_density():
+    lib = DEFAULT_LIBRARY
+    assert lib.area("arm7") == pytest.approx(5.5 * MW / (0.03 / MM2))
+    assert lib.area("arm11") == pytest.approx(3.0 * MM2)  # 1.5 W / 0.5 W/mm2
+
+
+def test_power_scales_with_utilization_and_frequency():
+    arm11 = DEFAULT_LIBRARY["arm11"]
+    assert arm11.power_at(1.0) == pytest.approx(1.5)
+    assert arm11.power_at(0.5) == pytest.approx(0.75)
+    # DFS to 100 MHz from the 500 MHz reference: one fifth the power.
+    assert arm11.power_at(1.0, frequency_hz=100 * MHZ) == pytest.approx(0.3)
+    assert arm11.power_at(0.0) == 0.0
+
+
+def test_power_rejects_bad_utilization():
+    with pytest.raises(ValueError):
+        DEFAULT_LIBRARY["arm7"].power_at(1.5)
+    with pytest.raises(ValueError):
+        DEFAULT_LIBRARY["arm7"].power_at(-0.1)
+
+
+def test_library_registration_and_lookup():
+    lib = PowerLibrary()
+    cls = PowerClass("x", "X core", 1.0, 1.0 / MM2)
+    lib.register(cls)
+    assert "x" in lib
+    assert lib["x"] is cls
+    with pytest.raises(ValueError):
+        lib.register(cls)
+    with pytest.raises(KeyError):
+        lib["missing"]
+
+
+def test_table_rows_render_like_table1():
+    rows = DEFAULT_LIBRARY.table_rows()
+    labels = [row[0] for row in rows]
+    assert labels[0] == "RISC 32-ARM7"
+    arm11_row = rows[1]
+    assert "1.5W" in arm11_row[1]
+    assert "0.5W/mm2" in arm11_row[2]

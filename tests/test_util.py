@@ -1,0 +1,78 @@
+"""Tests for the shared helpers (units, records)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.records import Table, format_duration, format_si
+from repro.util.units import (
+    GHZ,
+    KB,
+    MB,
+    MHZ,
+    MM2,
+    MS,
+    MW,
+    UM,
+    celsius_to_kelvin,
+    kelvin_to_celsius,
+)
+
+
+def test_unit_constants():
+    assert 1 * GHZ == 1000 * MHZ
+    assert 1 * MB == 1024 * KB
+    assert 1 * MM2 == 1e-6
+    assert 350 * UM == pytest.approx(3.5e-4)
+    assert 10 * MS == pytest.approx(0.01)
+    assert 5.5 * MW == pytest.approx(0.0055)
+
+
+def test_temperature_conversions():
+    assert celsius_to_kelvin(0.0) == pytest.approx(273.15)
+    assert kelvin_to_celsius(373.15) == pytest.approx(100.0)
+
+
+@given(st.floats(min_value=-1000, max_value=1000))
+def test_temperature_roundtrip(t):
+    assert kelvin_to_celsius(celsius_to_kelvin(t)) == pytest.approx(t)
+
+
+def test_format_si():
+    assert format_si(0.0055, "W") == "5.5 mW"
+    assert format_si(1.5, "W") == "1.5 W"
+    assert format_si(100e6, "Hz") == "100 MHz"
+    assert format_si(0, "W") == "0 W"
+    assert format_si(2e-9, "s") == "2 ns"
+
+
+def test_format_duration():
+    assert format_duration(1.2) == "1.20 sec"
+    assert format_duration(302) == "5' 02 sec"
+    assert format_duration(119.9) == "2' 00 sec"  # no "1' 60 sec"
+    assert format_duration(172800) == "2.0 days"
+    assert format_duration(0.01) == "10.00 ms"
+    with pytest.raises(ValueError):
+        format_duration(-1)
+
+
+@given(st.floats(min_value=60, max_value=86399))
+def test_format_duration_never_shows_60_seconds(seconds):
+    text = format_duration(seconds)
+    assert "' 60" not in text
+
+
+def test_table_rendering():
+    table = Table(["a", "bb"], title="T")
+    table.add_row(1, "xx")
+    table.add_row(22, "y")
+    text = str(table)
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "a" in lines[1] and "bb" in lines[1]
+    assert len(lines) == 5
+
+
+def test_table_rejects_wrong_arity():
+    table = Table(["a"])
+    with pytest.raises(ValueError):
+        table.add_row(1, 2)

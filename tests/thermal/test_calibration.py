@@ -1,0 +1,56 @@
+"""Calibration-suite thresholds (the FEM-calibration substitute)."""
+
+import pytest
+
+from repro.thermal.calibration import (
+    analytic_layered_wall,
+    calibration_report,
+    convergence_profile,
+    lumped_time_constant,
+    steady_state_error,
+    transient_error,
+)
+from repro.thermal.properties import ThermalProperties
+
+
+def test_analytic_wall_orders_of_magnitude():
+    props = ThermalProperties()
+    t = analytic_layered_wall(10.0, 16e-6, props)
+    # 10 W over 20 K/W dominates: ~200 K rise above 300 K ambient.
+    assert 495.0 < t < 515.0
+
+
+def test_analytic_wall_scales_with_power():
+    t1 = analytic_layered_wall(5.0, 16e-6)
+    t2 = analytic_layered_wall(10.0, 16e-6)
+    assert t2 > t1
+    # Package drop doubles exactly; silicon adds slightly more.
+    assert (t2 - 300.0) >= 2.0 * (t1 - 300.0) * 0.99
+
+
+def test_steady_state_error_under_two_percent():
+    _, _, error = steady_state_error(power=10.0)
+    assert error < 0.02
+
+
+def test_transient_error_under_two_percent():
+    assert transient_error(power=10.0) < 0.02
+
+
+def test_lumped_time_constant_seconds_scale():
+    tau = lumped_time_constant()
+    assert 0.5 < tau < 5.0  # small low-power die: seconds, not ms or min
+
+
+def test_convergence_profile_flat():
+    profile = convergence_profile(power=10.0, resolutions=((2, 2), (6, 6)))
+    temps = [t for _, t in profile]
+    assert max(temps) - min(temps) < 0.5  # uniform power: 1-D solution
+
+
+def test_calibration_report_structure():
+    report = calibration_report(power=5.0)
+    assert report["steady_relative_error"] < 0.02
+    assert report["transient_relative_error"] < 0.02
+    assert report["convergence_spread_K"] < 0.5
+    assert len(report["convergence_profile"]) == 4

@@ -1,0 +1,62 @@
+"""Table 2 material property tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.thermal.properties import (
+    AMBIENT_KELVIN,
+    COPPER,
+    COPPER_THICKNESS,
+    PACKAGE_TO_AIR_RESISTANCE,
+    SILICON,
+    SILICON_THICKNESS,
+    Material,
+    ThermalProperties,
+    silicon_conductivity,
+)
+from repro.util.units import UM
+
+
+def test_table2_values():
+    assert silicon_conductivity(300.0) == pytest.approx(150.0)
+    assert SILICON.volumetric_heat == pytest.approx(1.628e-12 * 1e18)
+    assert SILICON_THICKNESS == pytest.approx(350 * UM)
+    assert COPPER.k(300.0) == pytest.approx(400.0)
+    assert COPPER.volumetric_heat == pytest.approx(3.55e-12 * 1e18)
+    assert COPPER_THICKNESS == pytest.approx(1000 * UM)
+    assert PACKAGE_TO_AIR_RESISTANCE == pytest.approx(20.0)
+    assert AMBIENT_KELVIN == pytest.approx(300.0)
+
+
+def test_silicon_exponent_is_4_thirds():
+    # k(600) / k(300) must equal (300/600)^(4/3).
+    ratio = silicon_conductivity(600.0) / silicon_conductivity(300.0)
+    assert ratio == pytest.approx(0.5 ** (4.0 / 3.0))
+
+
+@given(st.floats(min_value=250.0, max_value=500.0))
+def test_silicon_conductivity_decreases_with_temperature(t):
+    assert silicon_conductivity(t + 1.0) < silicon_conductivity(t)
+
+
+def test_silicon_conductivity_vectorized():
+    t = np.array([300.0, 350.0, 400.0])
+    k = silicon_conductivity(t)
+    assert k.shape == (3,)
+    assert np.all(np.diff(k) < 0)
+
+
+def test_material_linearity_flags():
+    assert SILICON.nonlinear
+    assert not COPPER.nonlinear
+    constant = Material("x", 10.0, 1e6)
+    assert constant.k(1000.0) == 10.0
+
+
+def test_thermal_properties_table_rows():
+    rows = ThermalProperties().table()
+    assert len(rows) == 7
+    names = [name for name, _ in rows]
+    assert "silicon thermal conductivity" in names
+    assert "package-to-air conductivity" in names
