@@ -2,25 +2,18 @@
 
 The paper closes by arguing that the framework's value is exploring
 "the design space of complex thermal management policies".  This
-ablation does exactly that around the published policy: sweeping the
+ablation does exactly that around the published policy — sweeping the
 dual thresholds, the low DFS operating point, and the policy type
-(DFS vs stop-go vs per-core DFS), reporting the peak temperature /
-completion time / board time trade-off of each.
+(DFS vs stop-go vs per-core DFS) — and does it through the declarative
+scenario layer: every variant is a JSON-expressible :class:`Scenario`,
+and the whole batch runs through a two-worker :class:`Runner`.
 """
 
 import pytest
 
-from repro.core import (
-    DualThresholdDfsPolicy,
-    EmulationFramework,
-    FrameworkConfig,
-    NoManagementPolicy,
-    PerCoreDfsPolicy,
-    ProfiledWorkload,
-    StopGoPolicy,
-)
 from repro.core.workload_model import ActivityProfile
-from repro.thermal.floorplan import floorplan_4xarm11
+from repro.scenario import PolicySpec, Runner, Scenario, WorkloadSpec
+from repro.core import FrameworkConfig
 from repro.util.records import Table, format_duration
 from repro.util.units import MHZ
 
@@ -39,21 +32,28 @@ def hot_profile():
     )
 
 
-def run_policy(policy, upper=350.0, lower=340.0, iterations=12_000_000):
-    framework = EmulationFramework(
-        platform=None,
-        floorplan=floorplan_4xarm11(),
-        workload=ProfiledWorkload(hot_profile(), total_iterations=iterations),
-        policy=policy,
+def policy_scenario(label, policy, upper=350.0, lower=340.0,
+                    iterations=12_000_000):
+    return Scenario(
+        name=label,
+        workload=WorkloadSpec(
+            "profiled",
+            {"profile": hot_profile().to_dict(), "total_iterations": iterations},
+        ),
+        floorplan="4xarm11",
+        policy=PolicySpec.from_dict(policy),
         config=FrameworkConfig(
             virtual_hz=500 * MHZ,
             sensor_upper_kelvin=upper,
             sensor_lower_kelvin=lower,
             spreader_resolution=(2, 2),
         ),
+        max_emulated_seconds=240.0,
     )
-    result = framework.run(max_emulated_seconds=240.0)
-    return framework, result
+
+
+DUAL = {"name": "dual_threshold",
+        "params": {"high_hz": 500 * MHZ, "low_hz": 100 * MHZ}}
 
 
 def test_ablation_dfs_thresholds(benchmark, report):
@@ -62,30 +62,39 @@ def test_ablation_dfs_thresholds(benchmark, report):
         title="Ablation: thermal-management policy design space "
         "(MATRIX-TM-class stress workload, 4x ARM11 @ 500 MHz)",
     )
-    runs = {}
-    variants = [
-        ("none", NoManagementPolicy(), 350.0, 340.0),
-        ("DFS 360/350", DualThresholdDfsPolicy(500 * MHZ, 100 * MHZ), 360.0, 350.0),
-        ("DFS 350/340 (paper)", DualThresholdDfsPolicy(500 * MHZ, 100 * MHZ),
-         350.0, 340.0),
-        ("DFS 340/330", DualThresholdDfsPolicy(500 * MHZ, 100 * MHZ), 340.0, 330.0),
-        ("DFS 350/340, low=250 MHz",
-         DualThresholdDfsPolicy(500 * MHZ, 250 * MHZ), 350.0, 340.0),
-        ("stop-go 350/340", StopGoPolicy(run_hz=500 * MHZ), 350.0, 340.0),
-        ("per-core DFS 350/340",
-         PerCoreDfsPolicy({f"arm11_{i}": i for i in range(4)},
-                          high_hz=500 * MHZ, low_hz=100 * MHZ), 350.0, 340.0),
+    scenarios = [
+        policy_scenario("none", {"name": "none"}),
+        policy_scenario("DFS 360/350", DUAL, 360.0, 350.0),
+        policy_scenario("DFS 350/340 (paper)", DUAL, 350.0, 340.0),
+        policy_scenario("DFS 340/330", DUAL, 340.0, 330.0),
+        policy_scenario(
+            "DFS 350/340, low=250 MHz",
+            {"name": "dual_threshold",
+             "params": {"high_hz": 500 * MHZ, "low_hz": 250 * MHZ}},
+        ),
+        policy_scenario(
+            "stop-go 350/340",
+            {"name": "stop_go", "params": {"run_hz": 500 * MHZ}},
+        ),
+        policy_scenario(
+            "per-core DFS 350/340",
+            {"name": "per_core",
+             "params": {"core_components": {f"arm11_{i}": i for i in range(4)},
+                        "high_hz": 500 * MHZ, "low_hz": 100 * MHZ}},
+        ),
     ]
-    for label, policy, upper, lower in variants:
-        framework, result = run_policy(policy, upper, lower)
-        runs[label] = result
+    results = Runner(workers=2).run(scenarios)
+    assert all(r.ok for r in results), [r.error for r in results]
+    runs = {r.name: r.report for r in results}
+    for result in results:
+        run = result.report
         table.add_row(
-            label,
-            f"{result.peak_temperature_k:.1f}",
-            format_duration(result.emulated_seconds)
-            + ("" if result.workload_done else " (unfinished)"),
-            format_duration(result.fpga_real_seconds),
-            result.frequency_transitions,
+            result.name,
+            f"{run.peak_temperature_k:.1f}",
+            format_duration(run.emulated_seconds)
+            + ("" if run.workload_done else " (unfinished)"),
+            format_duration(run.fpga_real_seconds),
+            run.frequency_transitions,
         )
     report("ablation_dfs_thresholds", str(table))
 
@@ -116,15 +125,9 @@ def test_ablation_dfs_thresholds(benchmark, report):
         > runs["none"].emulated_seconds
     )
 
+    managed = policy_scenario("bench", DUAL, iterations=10**9)
+
     def one_managed_window():
-        framework = EmulationFramework(
-            platform=None,
-            floorplan=floorplan_4xarm11(),
-            workload=ProfiledWorkload(hot_profile(), total_iterations=10**9),
-            policy=DualThresholdDfsPolicy(),
-            config=FrameworkConfig(virtual_hz=500 * MHZ,
-                                   spreader_resolution=(2, 2)),
-        )
-        framework.step_window()
+        managed.build().step_window()
 
     benchmark(one_managed_window)

@@ -2,81 +2,100 @@
 
 Section 7 compares the bus against an xpipes NoC on the dithering
 workload.  This ablation widens the comparison to every interconnect the
-framework ships: OPB, PLB, the custom bus under three arbitration
-policies, and two NoC topologies — reporting the cycle counts and the
-contention statistics the sniffers extract.
+framework ships — OPB, PLB, the custom bus under three arbitration
+policies, and two NoC topologies — declared as scenario variants over
+one base :class:`Scenario` and executed through a two-worker
+:class:`Runner`; cycle counts and contention statistics come back in the
+reports' platform extras.
 """
 
 import pytest
 
-from repro.emulation.engine import EventDrivenEngine
 from repro.mpsoc import (
     BusConfig,
     MPSoCConfig,
-    build_platform,
     generate_custom,
     generate_mesh,
 )
 from repro.mpsoc.bus import ARB_FIXED_PRIORITY, ARB_ROUND_ROBIN, ARB_TDMA
 from repro.mpsoc.cache import CacheConfig
 from repro.mpsoc.platform import CoreConfig
+from repro.scenario import Runner, Scenario, Variant, WorkloadSpec, sweep
 from repro.util.records import Table
 from repro.util.units import KB
-from repro.workloads.dithering import dithering_programs, load_images
 
 SIZE = 24  # image edge; every pixel touch crosses the interconnect
 
 
-def build_variant(name, interconnect="bus", bus=None, noc=None):
-    return build_platform(
-        MPSoCConfig(
-            name=name,
-            cores=[CoreConfig(f"cpu{i}") for i in range(4)],
-            icache=CacheConfig(name="i", size=4 * KB, line_size=16),
-            dcache=CacheConfig(name="d", size=4 * KB, line_size=16),
-            shared_mem_size=64 * KB,
-            interconnect=interconnect,
-            bus=bus,
-            noc=noc,
-        )
-    )
-
-
-def run_variant(platform):
-    load_images(platform, SIZE, SIZE, num_images=2)
-    platform.load_program_all(dithering_programs(4, SIZE, SIZE, 2))
-    _, end_cycle = EventDrivenEngine(platform).run_to_completion()
-    stats = platform.interconnect.stats()
-    return end_cycle, stats
+def variant_platform(name, interconnect="bus", bus=None, noc=None):
+    return MPSoCConfig(
+        name=name,
+        cores=[CoreConfig(f"cpu{i}") for i in range(4)],
+        icache=CacheConfig(name="i", size=4 * KB, line_size=16),
+        dcache=CacheConfig(name="d", size=4 * KB, line_size=16),
+        shared_mem_size=64 * KB,
+        interconnect=interconnect,
+        bus=bus,
+        noc=noc,
+    ).to_dict()
 
 
 def test_ablation_interconnect(benchmark, report):
-    variants = [
-        ("OPB", "bus", BusConfig(name="b", kind="opb"), None),
-        ("PLB", "bus", BusConfig(name="b", kind="plb"), None),
-        ("custom fixed-priority", "bus",
-         BusConfig(name="b", arbitration=ARB_FIXED_PRIORITY), None),
-        ("custom round-robin", "bus",
-         BusConfig(name="b", arbitration=ARB_ROUND_ROBIN), None),
-        ("custom TDMA", "bus",
-         BusConfig(name="b", arbitration=ARB_TDMA, tdma_slot_cycles=8), None),
-        ("NoC 2 switches", "noc", None,
-         generate_custom("n2", 2, ring=False, buffer_flits=3)),
-        ("NoC 2x2 mesh", "noc", None, generate_mesh("m", 2, 2, buffer_flits=3)),
+    base = Scenario(
+        name="interconnect",
+        platform=variant_platform("base"),
+        floorplan="4xarm7",
+        workload=WorkloadSpec(
+            "dithering", {"width": SIZE, "height": SIZE, "num_images": 2}
+        ),
+    )
+    platforms = [
+        Variant("OPB", variant_platform("opb", bus=BusConfig(name="b", kind="opb"))),
+        Variant("PLB", variant_platform("plb", bus=BusConfig(name="b", kind="plb"))),
+        Variant(
+            "custom fixed-priority",
+            variant_platform(
+                "fp", bus=BusConfig(name="b", arbitration=ARB_FIXED_PRIORITY)
+            ),
+        ),
+        Variant(
+            "custom round-robin",
+            variant_platform(
+                "rr", bus=BusConfig(name="b", arbitration=ARB_ROUND_ROBIN)
+            ),
+        ),
+        Variant(
+            "custom TDMA",
+            variant_platform(
+                "tdma",
+                bus=BusConfig(name="b", arbitration=ARB_TDMA, tdma_slot_cycles=8),
+            ),
+        ),
+        Variant(
+            "NoC 2 switches",
+            variant_platform(
+                "n2", "noc", noc=generate_custom("n2", 2, ring=False, buffer_flits=3)
+            ),
+        ),
+        Variant(
+            "NoC 2x2 mesh",
+            variant_platform("m", "noc", noc=generate_mesh("m", 2, 2, buffer_flits=3)),
+        ),
     ]
+    scenarios = sweep(base, {"platform": platforms})
+    batch = Runner(workers=2).run(scenarios)
+    assert all(r.ok for r in batch), [r.error for r in batch]
+    results = {
+        variant.label: (r.report.extras["end_cycle"], r.report.extras["interconnect"])
+        for variant, r in zip(platforms, batch)
+    }
+
     table = Table(
         ["interconnect", "cycles", "vs best", "wait cycles", "traffic"],
         title=f"Ablation: interconnects under DITHERING "
         f"(2x {SIZE}x{SIZE} images, 4 cores)",
     )
-    results = {}
-    for label, kind, bus, noc in variants:
-        cycles, stats = run_variant(build_variant(label, kind, bus, noc))
-        traffic = stats.get("words", stats.get("flits", 0))
-        results[label] = (cycles, stats)
-        table.add_row(label, cycles, "", stats.get("wait_cycles", 0), traffic)
     best = min(c for c, _ in results.values())
-    table.rows = []
     for label, (cycles, stats) in results.items():
         traffic = stats.get("words", stats.get("flits", 0))
         table.add_row(
@@ -96,11 +115,14 @@ def test_ablation_interconnect(benchmark, report):
                   "custom TDMA")}
     assert len(bus_words) == 1
 
+    bench_scenario = Scenario(
+        name="bench",
+        platform=variant_platform("bench", bus=BusConfig(name="b", kind="plb")),
+        floorplan="4xarm7",
+        workload=WorkloadSpec("dithering", {"width": 8, "height": 8, "num_images": 1}),
+    )
+
     def kernel():
-        platform = build_variant("bench", "bus",
-                                 BusConfig(name="b", kind="plb"), None)
-        load_images(platform, 8, 8, num_images=1)
-        platform.load_program_all(dithering_programs(4, 8, 8, 1))
-        EventDrivenEngine(platform).run_to_completion()
+        bench_scenario.run()
 
     benchmark(kernel)

@@ -2,10 +2,12 @@
 """Run-time thermal management: the Figure 6 experiment, scaled down.
 
 Profiles the MATRIX kernel cycle-accurately on a 4x ARM11 platform at
-500 MHz, then replays a long thermal-stress run (MATRIX-TM) twice:
-unmanaged, and under the paper's dual-threshold DFS policy (scale to
-100 MHz above 350 K, back to 500 MHz below 340 K).  Prints both
-temperature traces as ASCII charts and the management summary.
+500 MHz, then declares the policy comparison as one base
+:class:`Scenario` carrying the measured profile and sweeps the policy
+spec — unmanaged, the paper's dual-threshold DFS, and stop-go clock
+gating — executing all variants in parallel through :class:`Runner`.
+Prints each temperature trace as an ASCII chart and the management
+summary.
 
 Run:  python examples/thermal_management.py [--seconds 30]
 """
@@ -15,18 +17,19 @@ import argparse
 from repro import (
     CacheConfig,
     CoreConfig,
-    DualThresholdDfsPolicy,
-    EmulationFramework,
     FrameworkConfig,
     MPSoCConfig,
-    NoManagementPolicy,
+    PolicySpec,
     PowerModel,
-    ProfiledWorkload,
-    StopGoPolicy,
+    Runner,
+    Scenario,
+    Variant,
+    WorkloadSpec,
     build_platform,
     floorplan_4xarm11,
     matrix_programs,
     profile_platform_run,
+    sweep,
 )
 from repro.util.units import KB, MHZ
 
@@ -47,16 +50,13 @@ def build_arm11_platform():
     )
 
 
-def run_policy(profile, iterations, policy, horizon_s):
-    framework = EmulationFramework(
-        platform=None,
-        floorplan=floorplan_4xarm11(),
-        workload=ProfiledWorkload(profile, total_iterations=iterations),
-        policy=policy,
-        config=FrameworkConfig(virtual_hz=500 * MHZ),
-    )
-    report = framework.run(max_emulated_seconds=horizon_s)
-    return framework, report
+def first_crossing(trace):
+    """(time, component, temperature) of the first sensor event, or None."""
+    for sample in trace.samples:
+        if sample.events:
+            component = sample.events[0][0]
+            return sample.time_s, component, sample.component_temps[component]
+    return None
 
 
 def main():
@@ -77,15 +77,38 @@ def main():
 
     iterations = int(args.seconds * 500e6 / profile.cycles_per_iteration)
     horizon = args.seconds * 6  # DFS runs slower; give it room to finish
+    base = Scenario(
+        name="matrix-tm",
+        workload=WorkloadSpec(
+            "profiled",
+            {"profile": profile.to_dict(), "total_iterations": iterations},
+        ),
+        floorplan="4xarm11",
+        config=FrameworkConfig(virtual_hz=500 * MHZ),
+        max_emulated_seconds=horizon,
+    )
     policies = [
-        ("no management", NoManagementPolicy()),
-        ("dual-threshold DFS 350/340 K", DualThresholdDfsPolicy(500 * MHZ, 100 * MHZ)),
-        ("stop-go clock gating", StopGoPolicy(run_hz=500 * MHZ)),
+        Variant("no management", {"name": "none"}),
+        Variant(
+            "dual-threshold DFS 350/340 K",
+            {"name": "dual_threshold",
+             "params": {"high_hz": 500 * MHZ, "low_hz": 100 * MHZ}},
+        ),
+        Variant(
+            "stop-go clock gating",
+            {"name": "stop_go", "params": {"run_hz": 500 * MHZ}},
+        ),
     ]
-    for label, policy in policies:
-        framework, report = run_policy(profile, iterations, policy, horizon)
+    scenarios = sweep(base, {"policy": policies})
+    results = Runner(workers=len(scenarios), capture_trace=True).run(scenarios)
+
+    for result, policy in zip(results, policies):
         print("=" * 74)
-        print(f"Policy: {label}")
+        print(f"Policy: {policy.label}")
+        if not result.ok:
+            print(f"  FAILED — {result.error}")
+            continue
+        report = result.report
         print(
             f"  peak {report.peak_temperature_k:.1f} K | "
             f"final {report.final_temperature_k:.1f} K | "
@@ -94,15 +117,15 @@ def main():
             f"DFS switches {report.frequency_transitions}"
         )
         if report.frequency_transitions:
-            duty = framework.trace.duty_cycle(100 * MHZ)
-            gated = framework.trace.duty_cycle(0.0)
+            duty = result.trace.duty_cycle(100 * MHZ)
+            gated = result.trace.duty_cycle(0.0)
             print(f"  time at 100 MHz: {duty * 100:.0f}%  |  gated: {gated * 100:.0f}%")
-        print(framework.trace.ascii_chart(width=66, height=12))
-        crossings = framework.sensors.crossings()
-        if crossings:
-            first = crossings[0]
-            print(f"  first threshold crossing: {first[1]} at {first[0]:.2f} s "
-                  f"({first[3]:.1f} K)")
+        print(result.trace.ascii_chart(width=66, height=12))
+        crossing = first_crossing(result.trace)
+        if crossing:
+            time_s, component, temp = crossing
+            print(f"  first threshold crossing: {component} at {time_s:.2f} s "
+                  f"({temp:.1f} K)")
 
 
 if __name__ == "__main__":

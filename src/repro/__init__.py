@@ -26,8 +26,22 @@ Quick start::
                                    policy=DualThresholdDfsPolicy())
     report = framework.run(max_emulated_seconds=1.0)
 
-See DESIGN.md for the paper-to-module map and EXPERIMENTS.md for the
-reproduced tables and figures.
+Or declaratively, as a serializable :class:`Scenario` (saved, swept and
+run in bulk through :class:`Runner` — see ``python -m repro``)::
+
+    from repro import PolicySpec, Runner, Scenario, WorkloadSpec
+
+    scenario = Scenario(
+        name="demo",
+        workload=WorkloadSpec("matrix", {"n": 8}),
+        platform=platform_config,          # an MPSoCConfig (or its dict)
+        floorplan="4xarm11",
+        policy=PolicySpec("dual_threshold"),
+    )
+    [result] = Runner(workers=1).run([scenario])
+
+See README.md for the paper-to-module map, the scenario quick start and
+the reproduced tables and figures.
 """
 
 from repro.core import (
@@ -72,6 +86,16 @@ from repro.thermal import (
     floorplan_4xarm7,
     floorplan_4xarm11,
 )
+from repro.scenario import (
+    ExperimentSuite,
+    PolicySpec,
+    Runner,
+    Scenario,
+    ScenarioResult,
+    Variant,
+    WorkloadSpec,
+    sweep,
+)
 from repro.workloads import (
     dithering_programs,
     golden_dither,
@@ -80,7 +104,7 @@ from repro.workloads import (
     read_image,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ActivityProfile",
@@ -92,6 +116,7 @@ __all__ = [
     "DualThresholdDfsPolicy",
     "EmulationFlow",
     "EmulationFramework",
+    "ExperimentSuite",
     "Floorplan",
     "FloorplanComponent",
     "FrameworkConfig",
@@ -100,12 +125,16 @@ __all__ = [
     "NoManagementPolicy",
     "NocConfig",
     "PerCoreDfsPolicy",
+    "PolicySpec",
     "PowerClass",
     "PowerLibrary",
     "PowerModel",
     "ProfiledWorkload",
     "Program",
     "RCNetwork",
+    "Runner",
+    "Scenario",
+    "ScenarioResult",
     "SensorBank",
     "SnifferBank",
     "StopGoPolicy",
@@ -113,7 +142,9 @@ __all__ = [
     "ThermalProperties",
     "ThermalSolver",
     "ThermalTrace",
+    "Variant",
     "Vpcm",
+    "WorkloadSpec",
     "assemble",
     "build_grid",
     "build_platform",
@@ -127,5 +158,6 @@ __all__ = [
     "matrix_programs",
     "profile_platform_run",
     "read_image",
+    "sweep",
     "__version__",
 ]

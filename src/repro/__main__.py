@@ -1,0 +1,101 @@
+"""``python -m repro`` — run scenarios from JSON files or named presets.
+
+Usage::
+
+    python -m repro <scenario.json | preset-name> [--workers N] [--json]
+    python -m repro --list-presets
+    python -m repro matrix_quickstart --dump > scenario.json
+
+A spec file holds either one scenario (``Scenario.to_dict()`` form) or a
+suite (``{"name": ..., "scenarios": [...]}``); every run prints the
+report summary, and ``--json`` emits the full serialized results.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+from repro.scenario import ExperimentSuite, Runner, Scenario
+from repro.scenario.presets import PRESETS
+
+
+def _load_scenarios(spec):
+    """Resolve a CLI spec (file path or preset name) to scenarios."""
+    path = pathlib.Path(spec)
+    if path.is_file():
+        data = json.loads(path.read_text())
+        if isinstance(data, dict) and "scenarios" in data:
+            return ExperimentSuite.from_dict(data).scenarios
+        if isinstance(data, list):
+            return [Scenario.from_dict(d) for d in data]
+        return [Scenario.from_dict(data)]
+    if spec in PRESETS:
+        return [PRESETS.get(spec)()]
+    raise ValueError(
+        f"{spec!r} is neither a readable JSON file nor a preset "
+        f"(presets: {', '.join(PRESETS.names())})"
+    )
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Run thermal co-emulation scenarios from JSON specs or presets.",
+    )
+    parser.add_argument(
+        "spec", nargs="?",
+        help="path to a scenario/suite JSON file, or a preset name",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="parallel worker processes for multi-scenario specs (default 1)",
+    )
+    parser.add_argument(
+        "--list-presets", action="store_true", help="list preset names and exit"
+    )
+    parser.add_argument(
+        "--dump", action="store_true",
+        help="print the resolved scenario JSON instead of running it",
+    )
+    parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="print results as JSON instead of summaries",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_presets:
+        for name in PRESETS.names():
+            scenario = PRESETS.get(name)()
+            print(f"{name:24s} {scenario.description}")
+        return 0
+    if not args.spec:
+        parser.print_usage()
+        return 2
+
+    try:
+        scenarios = _load_scenarios(args.spec)
+    except (ValueError, OSError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.dump:
+        payload = (
+            scenarios[0].to_dict()
+            if len(scenarios) == 1
+            else {"name": args.spec, "scenarios": [s.to_dict() for s in scenarios]}
+        )
+        print(json.dumps(payload, indent=2))
+        return 0
+
+    results = Runner(workers=args.workers).run(scenarios)
+    if args.as_json:
+        print(json.dumps([r.to_dict() for r in results], indent=2))
+    else:
+        for result in results:
+            print(result.summary())
+    return 0 if all(r.ok for r in results) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

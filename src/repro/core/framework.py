@@ -9,7 +9,7 @@ temperatures, fed back to the temperature sensors, and acted upon by the
 run-time thermal-management policy through the VPCM.
 """
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 from repro.core.dispatcher import BramBuffer, EthernetDispatcher
 from repro.core.sniffers import SnifferBank
@@ -36,19 +36,43 @@ class FrameworkConfig:
     physical_hz: float = 100 * MHZ  # board oscillator
     sensor_upper_kelvin: float = 350.0
     sensor_lower_kelvin: float = 340.0
-    monitored_components: tuple = None  # default: every active component
+    monitored_components: tuple | None = None  # default: every active component
     grid_mode: str = "component"
     refine_critical: int = 1
     spreader_resolution: tuple = (3, 3)
     ethernet_bandwidth_bps: float = 100e6
     bram_capacity_bytes: int = 64 * 1024
-    initial_temperature_kelvin: float = None  # default: ambient
+    initial_temperature_kelvin: float | None = None  # default: ambient
 
     def __post_init__(self):
         if self.sampling_period_s <= 0:
             raise ValueError("sampling period must be positive")
         if self.virtual_hz <= 0:
             raise ValueError("initial virtual frequency must be positive")
+        if self.sensor_upper_kelvin <= self.sensor_lower_kelvin:
+            raise ValueError(
+                f"sensor upper threshold ({self.sensor_upper_kelvin} K) must be "
+                f"above the lower threshold ({self.sensor_lower_kelvin} K)"
+            )
+        if self.ethernet_bandwidth_bps <= 0:
+            raise ValueError("Ethernet bandwidth must be positive")
+        if self.monitored_components is not None:
+            self.monitored_components = tuple(self.monitored_components)
+        self.spreader_resolution = tuple(self.spreader_resolution)
+
+    def to_dict(self):
+        """JSON-compatible dict; ``from_dict`` round-trips it losslessly."""
+        out = asdict(self)
+        out["spreader_resolution"] = list(self.spreader_resolution)
+        if self.monitored_components is not None:
+            out["monitored_components"] = list(self.monitored_components)
+        return out
+
+    @classmethod
+    def from_dict(cls, data):
+        """Rebuild from a (possibly partial) ``to_dict`` dict; missing keys
+        keep their defaults, lists re-become tuples in ``__post_init__``."""
+        return cls(**data)
 
 
 @dataclass
@@ -66,6 +90,52 @@ class RunReport:
     dispatcher: dict
     instructions: float = 0.0
     extras: dict = field(default_factory=dict)
+
+    def to_dict(self):
+        """JSON-compatible dict, serializable next to the Scenario spec."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(**data)
+
+    def summary(self):
+        """A short human-readable account of the run."""
+        from repro.util.records import format_duration
+
+        status = "done" if self.workload_done else "unfinished"
+        lines = [
+            f"emulated {format_duration(self.emulated_seconds)} "
+            f"({self.windows} windows, workload {status}) in "
+            f"{format_duration(self.fpga_real_seconds)} of board time",
+            f"  peak {self.peak_temperature_k:.1f} K | "
+            f"final {self.final_temperature_k:.1f} K | "
+            f"{self.frequency_transitions} DFS transitions",
+        ]
+        if self.instructions:
+            lines.append(f"  instructions {self.instructions:.3g}")
+        if self.freeze_breakdown:
+            frozen = ", ".join(
+                f"{reason} {seconds:.3g} s"
+                for reason, seconds in sorted(self.freeze_breakdown.items())
+            )
+            lines.append(f"  clock freezes: {frozen}")
+        return "\n".join(lines)
+
+
+def _string_keyed(stats):
+    """Recursively stringify dict keys (per-master ids are ints, NoC link
+    keys are tuples) so reports stay JSON-serializable."""
+    if not isinstance(stats, dict):
+        return stats
+    out = {}
+    for key, value in stats.items():
+        if isinstance(key, tuple):
+            key = "->".join(str(k) for k in key)
+        elif not isinstance(key, str):
+            key = str(key)
+        out[key] = _string_keyed(value)
+    return out
 
 
 class EmulationFramework:
@@ -200,6 +270,15 @@ class EmulationFramework:
         return self.report()
 
     def report(self):
+        extras = {}
+        if self.platform is not None:
+            extras["interconnect"] = _string_keyed(self.platform.interconnect.stats())
+            # The platform finish cycle: idle alignment at window
+            # boundaries only grows idle_cycles, so active + stall is the
+            # same end cycle `EventDrivenEngine.run_to_completion` reports.
+            extras["end_cycle"] = max(
+                c.active_cycles + c.stall_cycles for c in self.platform.cores
+            )
         return RunReport(
             emulated_seconds=self.vpcm.emulated_seconds,
             fpga_real_seconds=self.vpcm.real_seconds,
@@ -211,4 +290,5 @@ class EmulationFramework:
             frequency_transitions=len(self.vpcm.transitions),
             dispatcher=self.dispatcher.stats(),
             instructions=getattr(self.workload, "instructions", 0.0),
+            extras=extras,
         )

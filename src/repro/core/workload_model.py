@@ -10,7 +10,7 @@ Two ways to produce per-window activity:
   profile.  The paper's thermal drivers are homogeneous kernels (100 K
   identical matrix iterations), so one cycle-accurate iteration
   characterizes the stream; long runs then scale the profile instead of
-  interpreting 10^11 instructions (DESIGN.md documents this
+  interpreting 10^11 instructions (README.md documents this
   substitution).  DFS still slows *progress* naturally: a window at
   100 MHz contains 5x fewer cycles, hence 5x fewer iterations, than one
   at 500 MHz.
@@ -39,6 +39,34 @@ class ActivityProfile:
     def scaled(self, busy_fraction):
         """Utilizations scaled by the fraction of a window spent busy."""
         return {k: v * busy_fraction for k, v in self.utilization.items()}
+
+    def to_dict(self):
+        """JSON-compatible dict.  Utilization keys are activity-source
+        tuples (``("core", 0)``), so they serialize as ``[source, value]``
+        pairs rather than as dict keys."""
+        return {
+            "name": self.name,
+            "cycles_per_iteration": self.cycles_per_iteration,
+            "instructions_per_iteration": self.instructions_per_iteration,
+            "utilization": [
+                [list(source) if isinstance(source, tuple) else source, value]
+                for source, value in self.utilization.items()
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        utilization = {}
+        for source, value in data.get("utilization", []):
+            if isinstance(source, (list, tuple)):
+                source = tuple(source)
+            utilization[source] = value
+        return cls(
+            name=data["name"],
+            cycles_per_iteration=data["cycles_per_iteration"],
+            utilization=utilization,
+            instructions_per_iteration=data.get("instructions_per_iteration", 0.0),
+        )
 
 
 class DirectWorkload:

@@ -67,6 +67,22 @@ class BusConfig:
         if self.tdma_slot_cycles < 1:
             raise ValueError(f"{self.name}: TDMA slot must be >= 1 cycle")
 
+    def to_dict(self):
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "width_bits": self.width_bits,
+            "arbitration": self.arbitration,
+            "arb_cycles": self.arb_cycles,
+            "address_cycles": self.address_cycles,
+            "data_cycles_per_word": self.data_cycles_per_word,
+            "tdma_slot_cycles": self.tdma_slot_cycles,
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(**data)
+
     def words_per_beat(self):
         """32-bit words transferred per data beat (wider buses move more)."""
         return max(1, self.width_bits // 32)

@@ -51,6 +51,15 @@ class CacheConfig:
         if self.hit_latency < 1:
             raise ValueError(f"{self.name}: hit latency must be >= 1")
 
+    def to_dict(self):
+        from dataclasses import asdict
+
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(**data)
+
     @property
     def num_sets(self):
         return self.size // (self.line_size * self.assoc)

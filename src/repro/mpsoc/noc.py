@@ -53,6 +53,24 @@ class NocConfig:
         if self.buffer_flits < 1:
             raise ValueError(f"{self.name}: buffers must hold at least one flit")
 
+    def to_dict(self):
+        return {
+            "name": self.name,
+            "switches": list(self.switches),
+            "links": [list(link) for link in self.links],
+            "flit_width_bits": self.flit_width_bits,
+            "buffer_flits": self.buffer_flits,
+            "hop_latency": self.hop_latency,
+            "link_latency": self.link_latency,
+            "ni_latency": self.ni_latency,
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        data = dict(data)
+        data["links"] = [tuple(link) for link in data.get("links", [])]
+        return cls(**data)
+
     def graph(self):
         g = nx.Graph()
         g.add_nodes_from(self.switches)

@@ -75,6 +75,13 @@ class CoreConfig:
                 f"(available: {sorted(CORE_SPECS)})"
             )
 
+    def to_dict(self):
+        return {"name": self.name, "spec": self.spec, "frequency_hz": self.frequency_hz}
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(**data)
+
 
 @dataclass
 class MPSoCConfig:
@@ -105,6 +112,38 @@ class MPSoCConfig:
         names = [c.name for c in self.cores]
         if len(set(names)) != len(names):
             raise ValueError(f"{self.name}: duplicate core names")
+
+    def to_dict(self):
+        """Lossless JSON-compatible dict (``from_dict`` round-trips it)."""
+        return {
+            "name": self.name,
+            "cores": [c.to_dict() for c in self.cores],
+            "icache": self.icache.to_dict() if self.icache else None,
+            "dcache": self.dcache.to_dict() if self.dcache else None,
+            "private_mem_size": self.private_mem_size,
+            "private_mem_latency": self.private_mem_latency,
+            "private_mem_physical_latency": self.private_mem_physical_latency,
+            "shared_mem_size": self.shared_mem_size,
+            "shared_mem_latency": self.shared_mem_latency,
+            "shared_mem_physical_latency": self.shared_mem_physical_latency,
+            "interconnect": self.interconnect,
+            "bus": self.bus.to_dict() if self.bus else None,
+            "noc": self.noc.to_dict() if self.noc else None,
+            "noc_placement": dict(self.noc_placement),
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        data = dict(data)
+        data["cores"] = [CoreConfig.from_dict(c) for c in data.get("cores", [])]
+        for cache_key in ("icache", "dcache"):
+            if data.get(cache_key) is not None:
+                data[cache_key] = CacheConfig.from_dict(data[cache_key])
+        if data.get("bus") is not None:
+            data["bus"] = BusConfig.from_dict(data["bus"])
+        if data.get("noc") is not None:
+            data["noc"] = NocConfig.from_dict(data["noc"])
+        return cls(**data)
 
 
 class _MmioHub:

@@ -1,0 +1,110 @@
+"""Named preset scenarios runnable from ``python -m repro``.
+
+Each preset is a zero-argument factory returning a :class:`Scenario`;
+``PRESETS.get(name)()`` (or the CLI) materializes it.  Presets are sized
+to finish in seconds on a laptop — they are demonstrations and smoke
+tests, not the paper's full 100 K-iteration stress runs.
+"""
+
+from repro.core.framework import FrameworkConfig
+from repro.core.workload_model import ActivityProfile
+from repro.mpsoc.cache import CacheConfig
+from repro.mpsoc.noc import generate_custom
+from repro.mpsoc.platform import CoreConfig, MPSoCConfig
+from repro.scenario.registry import Registry
+from repro.scenario.spec import PolicySpec, Scenario, WorkloadSpec
+from repro.util.units import KB, MHZ
+
+PRESETS = Registry("preset scenario")
+
+
+def _four_core_platform(name, spec="microblaze", frequency_hz=None,
+                        interconnect="bus", noc=None):
+    return MPSoCConfig(
+        name=name,
+        cores=[
+            CoreConfig(f"cpu{i}", spec=spec, frequency_hz=frequency_hz)
+            for i in range(4)
+        ],
+        icache=CacheConfig(name="i", size=4 * KB, line_size=16),
+        dcache=CacheConfig(name="d", size=4 * KB, line_size=16, assoc=2),
+        shared_mem_size=64 * KB,
+        interconnect=interconnect,
+        noc=noc,
+    )
+
+
+def _stress_profile():
+    """A MATRIX-TM-class synthetic stress signature (near-saturated cores)."""
+    utilization = {}
+    for i in range(4):
+        utilization[("core", i)] = 0.97
+        utilization[("icache", i)] = 0.5
+        utilization[("dcache", i)] = 0.35
+        utilization[("private_mem", i)] = 0.2
+    utilization[("shared_mem", None)] = 0.25
+    return ActivityProfile(
+        name="stress",
+        cycles_per_iteration=1000.0,
+        utilization=utilization,
+        instructions_per_iteration=850.0,
+    )
+
+
+@PRESETS.register("matrix_quickstart")
+def matrix_quickstart():
+    """Four Microblaze-class cores running MATRIX cycle-accurately."""
+    return Scenario(
+        name="matrix_quickstart",
+        description="4-core MATRIX kernel on the custom bus, no management",
+        platform=_four_core_platform("quickstart"),
+        floorplan="4xarm7",
+        workload=WorkloadSpec("matrix", {"n": 8, "iterations": 1}),
+    )
+
+
+@PRESETS.register("dithering_noc")
+def dithering_noc():
+    """DITHERING on the paper's 2-switch application-specific NoC."""
+    return Scenario(
+        name="dithering_noc",
+        description="4-core Floyd-Steinberg dithering over a 2-switch NoC",
+        platform=_four_core_platform(
+            "dither-noc",
+            interconnect="noc",
+            noc=generate_custom("noc2", 2, ring=False),
+        ),
+        floorplan="4xarm7",
+        workload=WorkloadSpec(
+            "dithering", {"width": 16, "height": 16, "num_images": 2}
+        ),
+    )
+
+
+@PRESETS.register("matrix_tm_dfs")
+def matrix_tm_dfs():
+    """A scaled-down Figure 6: stress profile under dual-threshold DFS."""
+    return Scenario(
+        name="matrix_tm_dfs",
+        description="MATRIX-TM-class stress under the paper's 350/340 K DFS",
+        workload=WorkloadSpec(
+            "profiled",
+            {"profile": _stress_profile().to_dict(), "total_iterations": 2_000_000},
+        ),
+        floorplan="4xarm11",
+        policy=PolicySpec(
+            "dual_threshold", {"high_hz": 500 * MHZ, "low_hz": 100 * MHZ}
+        ),
+        config=FrameworkConfig(virtual_hz=500 * MHZ, spreader_resolution=(2, 2)),
+        max_emulated_seconds=60.0,
+    )
+
+
+@PRESETS.register("matrix_tm_unmanaged")
+def matrix_tm_unmanaged():
+    """The unmanaged baseline of the same scaled-down Figure 6 run."""
+    scenario = matrix_tm_dfs()
+    scenario.name = "matrix_tm_unmanaged"
+    scenario.description = "MATRIX-TM-class stress with no thermal management"
+    scenario.policy = PolicySpec("none")
+    return scenario

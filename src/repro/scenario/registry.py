@@ -1,0 +1,152 @@
+"""String-keyed registries behind the declarative scenario layer.
+
+A :class:`Scenario` references floorplans, thermal policies and workload
+generators by name, the way FireSim's config files name workloads and
+platform descriptions.  Three registries resolve those names:
+
+* :data:`FLOORPLANS` — name -> zero-argument floorplan factory.
+* :data:`POLICIES` — name -> policy factory taking the spec's params.
+* :data:`WORKLOADS` — name -> workload generator; called as
+  ``generator(platform, floorplan, **params)`` and returns either a
+  workload object for the framework or ``None`` (meaning "programs are
+  loaded; let the framework run the platform cycle-accurately").
+
+All three are open: experiments register their own entries with
+``REGISTRY.register(name, obj)`` or as a decorator.  Custom entries are
+visible to a forked :class:`repro.scenario.runner.Runner` worker; under
+a spawn start method only the built-ins below survive, so long-lived
+custom generators belong in an importable module.
+"""
+
+from repro.core.thermal_manager import (
+    DualThresholdDfsPolicy,
+    NoManagementPolicy,
+    PerCoreDfsPolicy,
+    StopGoPolicy,
+)
+from repro.core.workload_model import ActivityProfile, ProfiledWorkload
+from repro.thermal.floorplan import BUILTIN_FLOORPLANS
+from repro.workloads import (
+    compute_burst_program,
+    dithering_programs,
+    load_images,
+    matrix_programs,
+    shared_traffic_program,
+)
+
+
+class Registry:
+    """A named string-keyed registry with helpful unknown-name errors."""
+
+    def __init__(self, kind):
+        self.kind = kind
+        self._entries = {}
+
+    def register(self, name, obj=None):
+        """Register ``obj`` under ``name``; usable as a decorator when
+        ``obj`` is omitted."""
+        if obj is None:
+            def decorator(fn):
+                self.register(name, fn)
+                return fn
+
+            return decorator
+        if not isinstance(name, str) or not name:
+            raise ValueError(f"{self.kind} name must be a non-empty string")
+        if name in self._entries:
+            raise ValueError(f"{self.kind} {name!r} is already registered")
+        self._entries[name] = obj
+        return obj
+
+    def unregister(self, name):
+        self._entries.pop(name, None)
+
+    def get(self, name):
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown {self.kind} {name!r} "
+                f"(available: {', '.join(sorted(self._entries))})"
+            ) from None
+
+    def names(self):
+        return sorted(self._entries)
+
+    def __contains__(self, name):
+        return name in self._entries
+
+    def __len__(self):
+        return len(self._entries)
+
+
+FLOORPLANS = Registry("floorplan")
+POLICIES = Registry("policy")
+WORKLOADS = Registry("workload generator")
+
+for _name, _factory in BUILTIN_FLOORPLANS.items():
+    FLOORPLANS.register(_name, _factory)
+
+POLICIES.register("none", lambda: NoManagementPolicy())
+POLICIES.register("dual_threshold", DualThresholdDfsPolicy)
+POLICIES.register("stop_go", StopGoPolicy)
+
+
+@POLICIES.register("per_core")
+def _per_core_policy(core_components, **kwargs):
+    return PerCoreDfsPolicy(dict(core_components), **kwargs)
+
+
+def _require_platform(name, platform):
+    if platform is None:
+        raise ValueError(f"workload {name!r} needs a platform in the scenario")
+    return platform
+
+
+@WORKLOADS.register("matrix")
+def _matrix_workload(platform, floorplan, n=8, iterations=1):
+    """The MATRIX kernel, run cycle-accurately on the emulated cores."""
+    platform = _require_platform("matrix", platform)
+    platform.load_program_all(matrix_programs(len(platform.cores), n, iterations))
+    return None
+
+
+@WORKLOADS.register("dithering")
+def _dithering_workload(platform, floorplan, width=32, height=32, num_images=2):
+    """The DITHERING kernel over ``num_images`` shared grey images."""
+    platform = _require_platform("dithering", platform)
+    load_images(platform, width, height, num_images=num_images)
+    platform.load_program_all(
+        dithering_programs(len(platform.cores), width, height, num_images)
+    )
+    return None
+
+
+@WORKLOADS.register("shared_traffic")
+def _shared_traffic_workload(platform, floorplan, **params):
+    """Synthetic interconnect-traffic generator, one instance per core."""
+    platform = _require_platform("shared_traffic", platform)
+    platform.load_program_all(
+        [
+            shared_traffic_program(core_id, **params)
+            for core_id in range(len(platform.cores))
+        ]
+    )
+    return None
+
+
+@WORKLOADS.register("compute_burst")
+def _compute_burst_workload(platform, floorplan, **params):
+    """Synthetic compute-burst generator on every core."""
+    platform = _require_platform("compute_burst", platform)
+    program = compute_burst_program(**params)
+    platform.load_program_all([program] * len(platform.cores))
+    return None
+
+
+@WORKLOADS.register("profiled")
+def _profiled_workload(platform, floorplan, profile, total_iterations):
+    """Replay a serialized :class:`ActivityProfile` (no platform needed)."""
+    if isinstance(profile, dict):
+        profile = ActivityProfile.from_dict(profile)
+    return ProfiledWorkload(profile, total_iterations=total_iterations)

@@ -1,0 +1,114 @@
+"""Batch execution of scenarios, optionally across worker processes.
+
+:class:`Runner` executes a list of scenarios (or raw scenario dicts) and
+returns uniform :class:`ScenarioResult` objects in input order.  With
+``workers > 1`` the batch fans out over a ``multiprocessing`` pool —
+scenarios travel as their JSON-compatible dicts and come back as
+serialized reports, so the only requirement on a scenario is the same
+one the CLI imposes: it must be expressible as plain data.
+"""
+
+import multiprocessing
+import time
+from dataclasses import dataclass
+
+from repro.core.framework import RunReport
+from repro.scenario.spec import Scenario
+
+
+@dataclass
+class ScenarioResult:
+    """Outcome of one scenario in a batch."""
+
+    name: str
+    index: int
+    report: RunReport | None = None
+    wall_seconds: float = 0.0
+    error: str | None = None
+    trace: object = None  # ThermalTrace when the runner captures traces
+
+    @property
+    def ok(self):
+        return self.error is None
+
+    def to_dict(self):
+        return {
+            "name": self.name,
+            "index": self.index,
+            "wall_seconds": self.wall_seconds,
+            "error": self.error,
+            "report": self.report.to_dict() if self.report else None,
+        }
+
+    def summary(self):
+        if not self.ok:
+            return f"{self.name}: FAILED — {self.error}"
+        return f"{self.name}: {self.report.summary()}\n  wall {self.wall_seconds:.2f} s"
+
+
+def _execute(payload):
+    """Pool worker: run one scenario dict, return a picklable outcome."""
+    index, scenario_dict, capture_trace = payload
+    start = time.perf_counter()
+    name = scenario_dict.get("name", f"scenario{index}")
+    try:
+        scenario = Scenario.from_dict(scenario_dict)
+        framework, report = scenario.run()
+        wall = time.perf_counter() - start
+        trace = framework.trace if capture_trace else None
+        return index, scenario.name, report.to_dict(), wall, None, trace
+    except Exception as exc:  # the batch survives one bad scenario
+        wall = time.perf_counter() - start
+        return index, name, None, wall, f"{type(exc).__name__}: {exc}", None
+
+
+class Runner:
+    """Executes scenario batches with ``workers`` parallel processes.
+
+    ``workers <= 1`` runs in-process (and then also sees workloads and
+    policies registered after import, regardless of start method).
+    ``capture_trace=True`` ships each run's :class:`ThermalTrace` back in
+    the result — useful for plotting, costly for very long runs.
+    """
+
+    def __init__(self, workers=1, capture_trace=False, start_method=None):
+        if workers < 0:
+            raise ValueError("workers must be >= 0")
+        self.workers = workers
+        self.capture_trace = capture_trace
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else methods[0]
+        self.start_method = start_method
+
+    def run(self, scenarios):
+        """Run every scenario; returns ``list[ScenarioResult]`` in input
+        order.  Items may be :class:`Scenario` objects or raw dicts."""
+        payloads = []
+        for index, scenario in enumerate(scenarios):
+            if isinstance(scenario, Scenario):
+                scenario_dict = scenario.to_dict()
+            else:
+                scenario_dict = dict(scenario)
+            payloads.append((index, scenario_dict, self.capture_trace))
+        if not payloads:
+            return []
+        if self.workers <= 1 or len(payloads) == 1:
+            raw = [_execute(p) for p in payloads]
+        else:
+            ctx = multiprocessing.get_context(self.start_method)
+            with ctx.Pool(processes=min(self.workers, len(payloads))) as pool:
+                raw = pool.map(_execute, payloads)
+        results = []
+        for index, name, report_dict, wall, error, trace in raw:
+            results.append(
+                ScenarioResult(
+                    name=name,
+                    index=index,
+                    report=RunReport.from_dict(report_dict) if report_dict else None,
+                    wall_seconds=wall,
+                    error=error,
+                    trace=trace,
+                )
+            )
+        return results

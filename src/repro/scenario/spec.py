@@ -1,0 +1,143 @@
+"""The declarative description of one co-emulation run.
+
+A :class:`Scenario` captures everything `EmulationFramework` needs —
+platform architecture, workload, floorplan, thermal policy, framework
+knobs and run bounds — as plain data.  ``to_dict()``/``from_dict()``
+round-trip losslessly through JSON, so scenarios can be named, saved,
+swept (:func:`repro.scenario.sweep.sweep`) and executed in bulk
+(:class:`repro.scenario.runner.Runner`) or from the command line
+(``python -m repro``).
+"""
+
+import copy
+from dataclasses import dataclass, field
+
+from repro.core.framework import EmulationFramework, FrameworkConfig
+from repro.mpsoc.platform import MPSoCConfig, build_platform
+from repro.scenario.registry import FLOORPLANS, POLICIES, WORKLOADS
+
+
+@dataclass
+class WorkloadSpec:
+    """A workload generator by registry name plus its parameters."""
+
+    name: str
+    params: dict = field(default_factory=dict)
+
+    def to_dict(self):
+        return {"name": self.name, "params": copy.deepcopy(self.params)}
+
+    @classmethod
+    def from_dict(cls, data):
+        if isinstance(data, str):
+            return cls(name=data)
+        return cls(name=data["name"], params=copy.deepcopy(data.get("params", {})))
+
+
+@dataclass
+class PolicySpec:
+    """A thermal-management policy by registry name plus its parameters."""
+
+    name: str = "none"
+    params: dict = field(default_factory=dict)
+
+    def to_dict(self):
+        return {"name": self.name, "params": copy.deepcopy(self.params)}
+
+    @classmethod
+    def from_dict(cls, data):
+        if data is None:
+            return cls()
+        if isinstance(data, str):
+            return cls(name=data)
+        return cls(name=data["name"], params=copy.deepcopy(data.get("params", {})))
+
+
+@dataclass
+class Scenario:
+    """One fully described co-emulation run.
+
+    ``platform`` may be ``None`` for platform-less (profiled) runs; the
+    workload spec must then produce the workload itself.  ``floorplan``,
+    the policy name and the workload name resolve through the registries
+    in :mod:`repro.scenario.registry`.
+    """
+
+    name: str
+    workload: WorkloadSpec
+    platform: MPSoCConfig | None = None
+    floorplan: str = "4xarm11"
+    policy: PolicySpec = field(default_factory=PolicySpec)
+    config: FrameworkConfig = field(default_factory=FrameworkConfig)
+    max_emulated_seconds: float | None = None
+    max_windows: int | None = None
+    description: str = ""
+
+    def __post_init__(self):
+        if isinstance(self.workload, (str, dict)):
+            self.workload = WorkloadSpec.from_dict(self.workload)
+        if isinstance(self.policy, (str, dict)) or self.policy is None:
+            self.policy = PolicySpec.from_dict(self.policy)
+        if isinstance(self.platform, dict):
+            self.platform = MPSoCConfig.from_dict(self.platform)
+        if isinstance(self.config, dict):
+            self.config = FrameworkConfig.from_dict(self.config)
+
+    # -- serialization -----------------------------------------------------------
+    def to_dict(self):
+        """Lossless JSON-compatible dict of the whole scenario."""
+        return {
+            "name": self.name,
+            "description": self.description,
+            "platform": self.platform.to_dict() if self.platform else None,
+            "floorplan": self.floorplan,
+            "workload": self.workload.to_dict(),
+            "policy": self.policy.to_dict(),
+            "config": self.config.to_dict(),
+            "max_emulated_seconds": self.max_emulated_seconds,
+            "max_windows": self.max_windows,
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        """Build a scenario from a (possibly abbreviated) dict: the
+        workload/policy may be bare registry-name strings, and missing
+        sections keep their defaults."""
+        known = {f for f in cls.__dataclass_fields__}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown scenario keys: {', '.join(sorted(unknown))} "
+                f"(known: {', '.join(sorted(known))})"
+            )
+        for required in ("name", "workload"):
+            if required not in data:
+                raise ValueError(f"a scenario needs a {required!r} entry")
+        return cls(**copy.deepcopy(dict(data)))
+
+    # -- construction ------------------------------------------------------------
+    def build(self, library=None):
+        """Wire the scenario into a ready-to-run :class:`EmulationFramework`."""
+        platform = build_platform(self.platform) if self.platform is not None else None
+        floorplan = FLOORPLANS.get(self.floorplan)()
+        policy = POLICIES.get(self.policy.name)(**self.policy.params)
+        generator = WORKLOADS.get(self.workload.name)
+        workload = generator(platform, floorplan, **self.workload.params)
+        return EmulationFramework(
+            platform,
+            floorplan,
+            workload=workload,
+            policy=policy,
+            config=self.config,
+            library=library,
+        )
+
+    def run(self, library=None):
+        """Build and run to the scenario's bounds; returns
+        ``(framework, RunReport)``."""
+        framework = self.build(library=library)
+        report = framework.run(
+            max_emulated_seconds=self.max_emulated_seconds,
+            max_windows=self.max_windows,
+        )
+        return framework, report

@@ -259,3 +259,11 @@ def floorplan_4xarm11():
         core_row_h=1.6e-3,
         cache_row_h=1.9e-3,
     )
+
+
+# Named floorplan factories; ``repro.scenario`` seeds its floorplan
+# registry from this map so scenario specs can say "floorplan": "4xarm11".
+BUILTIN_FLOORPLANS = {
+    "4xarm7": floorplan_4xarm7,
+    "4xarm11": floorplan_4xarm11,
+}

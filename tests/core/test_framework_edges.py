@@ -49,6 +49,44 @@ def test_monitored_subset():
     assert set(framework.sensors.sensors) == {"arm11_0"}
 
 
+def test_config_rejects_inverted_sensor_thresholds():
+    with pytest.raises(ValueError, match="upper threshold"):
+        FrameworkConfig(sensor_upper_kelvin=340.0, sensor_lower_kelvin=350.0)
+    with pytest.raises(ValueError, match="upper threshold"):
+        FrameworkConfig(sensor_upper_kelvin=350.0, sensor_lower_kelvin=350.0)
+
+
+def test_config_rejects_nonpositive_ethernet_bandwidth():
+    with pytest.raises(ValueError, match="Ethernet bandwidth"):
+        FrameworkConfig(ethernet_bandwidth_bps=0.0)
+    with pytest.raises(ValueError, match="Ethernet bandwidth"):
+        FrameworkConfig(ethernet_bandwidth_bps=-1.0)
+
+
+def test_config_normalizes_sequences_to_tuples():
+    config = FrameworkConfig(
+        monitored_components=["arm11_0", "arm11_1"],
+        spreader_resolution=[2, 2],
+    )
+    assert config.monitored_components == ("arm11_0", "arm11_1")
+    assert config.spreader_resolution == (2, 2)
+    assert FrameworkConfig().monitored_components is None
+
+
+def test_config_dict_round_trip():
+    import json
+
+    config = FrameworkConfig(
+        virtual_hz=500 * MHZ,
+        monitored_components=("arm11_0",),
+        spreader_resolution=(2, 2),
+    )
+    rebuilt = FrameworkConfig.from_dict(json.loads(json.dumps(config.to_dict())))
+    assert rebuilt == config
+    # Partial dicts keep defaults for everything unspecified.
+    assert FrameworkConfig.from_dict({"virtual_hz": 5e8}).grid_mode == "component"
+
+
 def test_report_before_any_window():
     framework = make_framework()
     report = framework.report()

@@ -1,0 +1,68 @@
+"""The ``python -m repro`` entry point."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.scenario.presets import PRESETS
+
+
+def test_list_presets(capsys):
+    assert main(["--list-presets"]) == 0
+    out = capsys.readouterr().out
+    for name in PRESETS.names():
+        assert name in out
+
+
+def test_run_preset(capsys):
+    assert main(["matrix_quickstart"]) == 0
+    out = capsys.readouterr().out
+    assert "matrix_quickstart" in out
+    assert "workload done" in out
+
+
+def test_dump_then_run_json_file(tmp_path, capsys):
+    assert main(["matrix_quickstart", "--dump"]) == 0
+    dumped = capsys.readouterr().out
+    spec = tmp_path / "scenario.json"
+    spec.write_text(dumped)
+    assert main([str(spec)]) == 0
+    assert "workload done" in capsys.readouterr().out
+
+
+def test_run_suite_file_with_workers(tmp_path, capsys):
+    scenario = PRESETS.get("matrix_quickstart")()
+    suite = {
+        "name": "suite",
+        "scenarios": [
+            dict(scenario.to_dict(), name="first"),
+            dict(scenario.to_dict(), name="second"),
+        ],
+    }
+    spec = tmp_path / "suite.json"
+    spec.write_text(json.dumps(suite))
+    assert main([str(spec), "--workers", "2", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert [r["name"] for r in payload] == ["first", "second"]
+    assert all(r["error"] is None for r in payload)
+    assert all(r["report"]["workload_done"] for r in payload)
+
+
+def test_unknown_spec_errors(capsys):
+    assert main(["no_such_preset_or_file"]) == 2
+    err = capsys.readouterr().err
+    assert "neither a readable JSON file nor a preset" in err
+
+
+def test_failing_scenario_sets_exit_code(tmp_path, capsys):
+    scenario = PRESETS.get("matrix_quickstart")().to_dict()
+    scenario["floorplan"] = "missing"
+    spec = tmp_path / "bad.json"
+    spec.write_text(json.dumps(scenario))
+    assert main([str(spec)]) == 1
+    assert "FAILED" in capsys.readouterr().out
+
+
+def test_no_spec_prints_usage(capsys):
+    assert main([]) == 2

@@ -1,0 +1,112 @@
+"""Batch execution: ordering, determinism, worker parallelism, errors."""
+
+import pytest
+
+from repro.core.framework import FrameworkConfig
+from repro.core.stats import ThermalTrace
+from repro.scenario import PolicySpec, Runner, Scenario, WorkloadSpec, sweep
+from repro.util.units import MHZ
+
+
+def stress_profile_dict(cores=4):
+    utilization = [[["core", i], 0.95] for i in range(cores)]
+    utilization.append([["shared_mem", None], 0.2])
+    return {
+        "name": "stress",
+        "cycles_per_iteration": 1000.0,
+        "utilization": utilization,
+        "instructions_per_iteration": 900.0,
+    }
+
+
+def profiled_scenario(name, iterations=200_000, policy=None):
+    return Scenario(
+        name=name,
+        workload=WorkloadSpec(
+            "profiled",
+            {"profile": stress_profile_dict(), "total_iterations": iterations},
+        ),
+        floorplan="4xarm11",
+        policy=PolicySpec.from_dict(policy),
+        config=FrameworkConfig(virtual_hz=500 * MHZ, spreader_resolution=(2, 2)),
+        max_emulated_seconds=5.0,
+    )
+
+
+def batch():
+    return [
+        profiled_scenario("unmanaged"),
+        # Long enough to cross 350 K and latch the DFS low point.
+        profiled_scenario(
+            "dfs", iterations=5_000_000,
+            policy={"name": "dual_threshold",
+                    "params": {"high_hz": 500 * MHZ, "low_hz": 100 * MHZ}},
+        ),
+        profiled_scenario("short", iterations=10_000),
+    ]
+
+
+def test_two_worker_batch_is_deterministic_and_ordered():
+    results_a = Runner(workers=2).run(batch())
+    results_b = Runner(workers=2).run(batch())
+    assert [r.name for r in results_a] == ["unmanaged", "dfs", "short"]
+    assert [r.index for r in results_a] == [0, 1, 2]
+    assert all(r.ok for r in results_a)
+    # Bit-identical physics in both batches, per scenario.
+    for a, b in zip(results_a, results_b):
+        assert a.report == b.report
+
+
+def test_parallel_matches_serial():
+    serial = Runner(workers=1).run(batch())
+    parallel = Runner(workers=2).run(batch())
+    for s, p in zip(serial, parallel):
+        assert s.report == p.report
+
+
+def test_pure_dict_scenarios_run_end_to_end():
+    dicts = [s.to_dict() for s in batch()]
+    results = Runner(workers=2).run(dicts)
+    assert all(r.ok for r in results)
+    assert results[1].report.frequency_transitions > 0
+    assert results[2].report.workload_done
+
+
+def test_errors_are_captured_per_scenario():
+    bad = profiled_scenario("bad")
+    bad.floorplan = "missing_floorplan"
+    results = Runner(workers=2).run([profiled_scenario("good"), bad])
+    good, failed = results
+    assert good.ok and good.report is not None
+    assert not failed.ok
+    assert failed.report is None
+    assert "unknown floorplan" in failed.error
+    assert failed.name == "bad"
+
+
+def test_capture_trace():
+    results = Runner(workers=2, capture_trace=True).run(
+        [profiled_scenario("a", iterations=10_000),
+         profiled_scenario("b", iterations=10_000)]
+    )
+    for result in results:
+        assert isinstance(result.trace, ThermalTrace)
+        assert len(result.trace) == result.report.windows
+    plain = Runner(workers=1).run([profiled_scenario("a", iterations=10_000)])
+    assert plain[0].trace is None
+
+
+def test_empty_batch_and_bad_workers():
+    assert Runner(workers=2).run([]) == []
+    with pytest.raises(ValueError):
+        Runner(workers=-1)
+
+
+def test_sweep_through_runner():
+    scenarios = sweep(profiled_scenario("grid", iterations=10_000), {
+        "config.sensor_upper_kelvin": [360.0, 350.0],
+    })
+    results = Runner(workers=2).run(scenarios)
+    assert [r.name for r in results] == [s.name for s in scenarios]
+    assert all(r.ok for r in results)
+    assert all(r.wall_seconds > 0 for r in results)
