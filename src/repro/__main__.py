@@ -3,7 +3,9 @@
 Usage::
 
     python -m repro <scenario.json | preset-name> [--workers N] [--json]
+    python -m repro <suite.json> --batched [--backend cached_lu]
     python -m repro --list-presets
+    python -m repro --list-backends
     python -m repro matrix_quickstart --dump > scenario.json
 
 A spec file holds either one scenario (``Scenario.to_dict()`` form) or a
@@ -55,6 +57,20 @@ def main(argv=None):
         "--list-presets", action="store_true", help="list preset names and exit"
     )
     parser.add_argument(
+        "--list-backends", action="store_true",
+        help="list thermal solver backend names and exit",
+    )
+    parser.add_argument(
+        "--backend", metavar="NAME",
+        help="override every scenario's thermal solver backend "
+        "(sparse_be, cached_lu, batched_lu, ...)",
+    )
+    parser.add_argument(
+        "--batched", action="store_true",
+        help="co-step structure-sharing scenarios through one multi-RHS "
+        "thermal solve per window (in-process; ignores --workers)",
+    )
+    parser.add_argument(
         "--dump", action="store_true",
         help="print the resolved scenario JSON instead of running it",
     )
@@ -69,12 +85,23 @@ def main(argv=None):
             scenario = PRESETS.get(name)()
             print(f"{name:24s} {scenario.description}")
         return 0
+    if args.list_backends:
+        from repro.scenario.registry import SOLVER_BACKENDS
+
+        for name in SOLVER_BACKENDS.names():
+            doc = (SOLVER_BACKENDS.get(name).__doc__ or "").strip().splitlines()
+            print(f"{name:24s} {doc[0] if doc else ''}")
+        return 0
     if not args.spec:
         parser.print_usage()
         return 2
 
     try:
         scenarios = _load_scenarios(args.spec)
+        if args.backend:
+            for scenario in scenarios:
+                scenario.config.solver_backend = args.backend
+                scenario.config._validate_solver_backend()
     except (ValueError, OSError, json.JSONDecodeError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -88,7 +115,11 @@ def main(argv=None):
         print(json.dumps(payload, indent=2))
         return 0
 
-    results = Runner(workers=args.workers).run(scenarios)
+    runner = Runner(workers=args.workers)
+    if args.batched:
+        results = runner.run_batched(scenarios)
+    else:
+        results = runner.run(scenarios)
     if args.as_json:
         print(json.dumps([r.to_dict() for r in results], indent=2))
     else:

@@ -19,8 +19,8 @@ from repro.core.vpcm import FREEZE_ETHERNET, Vpcm
 from repro.core.workload_model import DirectWorkload
 from repro.emulation.ethernet import EthernetLink
 from repro.power.models import PowerModel
-from repro.thermal.grid import build_grid
-from repro.thermal.rc_network import RCNetwork
+from repro.thermal.backends import make_backend
+from repro.thermal.rc_network import network_for
 from repro.thermal.sensors import SensorBank
 from repro.thermal.solver import ThermalSolver
 from repro.util.units import MHZ, MS
@@ -43,12 +43,24 @@ class FrameworkConfig:
     ethernet_bandwidth_bps: float = 100e6
     bram_capacity_bytes: int = 64 * 1024
     initial_temperature_kelvin: float | None = None  # default: ambient
+    solver_backend: str | dict = "sparse_be"  # see repro.thermal.backends
 
     def __post_init__(self):
         if self.sampling_period_s <= 0:
             raise ValueError("sampling period must be positive")
         if self.virtual_hz <= 0:
             raise ValueError("initial virtual frequency must be positive")
+        if self.physical_hz <= 0:
+            raise ValueError("physical board frequency must be positive")
+        if (
+            self.initial_temperature_kelvin is not None
+            and self.initial_temperature_kelvin <= 0
+        ):
+            raise ValueError(
+                f"initial temperature must be positive kelvin, "
+                f"got {self.initial_temperature_kelvin}"
+            )
+        self._validate_solver_backend()
         if self.sensor_upper_kelvin <= self.sensor_lower_kelvin:
             raise ValueError(
                 f"sensor upper threshold ({self.sensor_upper_kelvin} K) must be "
@@ -59,6 +71,27 @@ class FrameworkConfig:
         if self.monitored_components is not None:
             self.monitored_components = tuple(self.monitored_components)
         self.spreader_resolution = tuple(self.spreader_resolution)
+
+    def _validate_solver_backend(self):
+        """Reject bad backend specs (unknown names, malformed dicts, bad
+        params) at config time rather than when the framework is wired.
+
+        Only plain data is accepted — the config must stay JSON-round-
+        trippable and each framework built from it must get its *own*
+        backend.  Pass a live backend to
+        :class:`repro.thermal.solver.ThermalSolver` directly instead.
+        Validation delegates to :func:`repro.thermal.backends.make_backend`
+        by constructing (and discarding) an instance — construction is
+        cheap, and it exercises the exact code path ``build`` will use.
+        """
+        spec = self.solver_backend
+        if not isinstance(spec, (str, dict)):
+            raise ValueError(
+                f"solver_backend must be a registered name or "
+                f"{{'name': ..., 'params': ...}} dict, "
+                f"got {type(spec).__name__}"
+            )
+        make_backend(spec)
 
     def to_dict(self):
         """JSON-compatible dict; ``from_dict`` round-trips it losslessly."""
@@ -169,16 +202,19 @@ class EmulationFramework:
             buffer=BramBuffer(capacity_bytes=cfg.bram_capacity_bytes),
         )
 
-        grid = build_grid(
+        # Structure-cached assembly: sweeps over one floorplan + grid
+        # configuration share a single grid/RCNetwork build per process.
+        self.network = network_for(
             floorplan,
             mode=cfg.grid_mode,
             refine_critical=cfg.refine_critical,
             spreader_resolution=cfg.spreader_resolution,
         )
-        self.grid = grid
-        self.network = RCNetwork(grid)
+        self.grid = self.network.grid
         self.solver = ThermalSolver(
-            self.network, initial_temperature=cfg.initial_temperature_kelvin
+            self.network,
+            initial_temperature=cfg.initial_temperature_kelvin,
+            backend=cfg.solver_backend,
         )
 
         monitored = cfg.monitored_components
@@ -201,6 +237,19 @@ class EmulationFramework:
     # -- the closed loop ---------------------------------------------------------
     def step_window(self):
         """Run exactly one sampling window of the co-emulation loop."""
+        powers, frequency = self._window_power()
+        # 4. The SW thermal tool integrates one sampling period.
+        self.solver.step_be(self.config.sampling_period_s)
+        return self._window_commit(powers, frequency)
+
+    def _window_power(self):
+        """Phases 1-3 of a window: emulate, convert to power, dispatch.
+
+        Leaves the window's power injected into ``self.network`` and
+        returns ``(powers, frequency)`` for :meth:`_window_commit`.  The
+        batched sweep runner uses this split to co-step many frameworks
+        through one shared multi-RHS thermal solve.
+        """
         cfg = self.config
         period = cfg.sampling_period_s
         frequency = self.vpcm.virtual_hz
@@ -233,9 +282,13 @@ class EmulationFramework:
         if freeze > 0:
             self.vpcm.freeze_seconds(freeze, FREEZE_ETHERNET)
 
-        # 4. The SW thermal tool integrates one sampling period.
         self.network.set_power(powers)
-        self.solver.step_be(period)
+        return powers, frequency
+
+    def _window_commit(self, powers, frequency):
+        """Phase 5 of a window, after the thermal solve: sensors, policy,
+        trace.  Assumes the solver already integrated one period."""
+        period = self.config.sampling_period_s
         temps = self.solver.component_temperatures()
 
         # 5. Temperatures return to the sensors; the policy reacts via VPCM.
@@ -256,16 +309,20 @@ class EmulationFramework:
         self.windows += 1
         return sample
 
+    def bounds_reached(self, max_emulated_seconds=None, max_windows=None):
+        """True when the workload is done or a run bound has been hit."""
+        if self.workload.done:
+            return True
+        if (
+            max_emulated_seconds is not None
+            and self.vpcm.emulated_seconds >= max_emulated_seconds - 1e-12
+        ):
+            return True
+        return max_windows is not None and self.windows >= max_windows
+
     def run(self, max_emulated_seconds=None, max_windows=None):
         """Run until the workload completes (or a bound is hit)."""
-        while not self.workload.done:
-            if (
-                max_emulated_seconds is not None
-                and self.vpcm.emulated_seconds >= max_emulated_seconds - 1e-12
-            ):
-                break
-            if max_windows is not None and self.windows >= max_windows:
-                break
+        while not self.bounds_reached(max_emulated_seconds, max_windows):
             self.step_window()
         return self.report()
 

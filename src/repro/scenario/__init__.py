@@ -16,7 +16,13 @@ experiments *data*:
 * :data:`PRESETS` — named ready-to-run scenarios (``python -m repro``).
 """
 
-from repro.scenario.registry import FLOORPLANS, POLICIES, WORKLOADS, Registry
+from repro.scenario.registry import (
+    FLOORPLANS,
+    POLICIES,
+    SOLVER_BACKENDS,
+    WORKLOADS,
+    Registry,
+)
 from repro.scenario.spec import PolicySpec, Scenario, WorkloadSpec
 from repro.scenario.sweep import ExperimentSuite, Variant, sweep
 from repro.scenario.runner import Runner, ScenarioResult
@@ -30,6 +36,7 @@ __all__ = [
     "PolicySpec",
     "Registry",
     "Runner",
+    "SOLVER_BACKENDS",
     "Scenario",
     "ScenarioResult",
     "Variant",

@@ -11,7 +11,11 @@ platform descriptions.  Three registries resolve those names:
   workload object for the framework or ``None`` (meaning "programs are
   loaded; let the framework run the platform cycle-accurately").
 
-All three are open: experiments register their own entries with
+:data:`SOLVER_BACKENDS` (re-exported from
+:mod:`repro.thermal.backends`) resolves the ``solver_backend`` field of
+:class:`repro.core.framework.FrameworkConfig` the same way.
+
+All registries are open: experiments register their own entries with
 ``REGISTRY.register(name, obj)`` or as a decorator.  Custom entries are
 visible to a forked :class:`repro.scenario.runner.Runner` worker; under
 a spawn start method only the built-ins below survive, so long-lived
@@ -25,7 +29,9 @@ from repro.core.thermal_manager import (
     StopGoPolicy,
 )
 from repro.core.workload_model import ActivityProfile, ProfiledWorkload
+from repro.thermal.backends import SOLVER_BACKENDS
 from repro.thermal.floorplan import BUILTIN_FLOORPLANS
+from repro.util.registry import Registry
 from repro.workloads import (
     compute_burst_program,
     dithering_programs,
@@ -34,50 +40,13 @@ from repro.workloads import (
     shared_traffic_program,
 )
 
-
-class Registry:
-    """A named string-keyed registry with helpful unknown-name errors."""
-
-    def __init__(self, kind):
-        self.kind = kind
-        self._entries = {}
-
-    def register(self, name, obj=None):
-        """Register ``obj`` under ``name``; usable as a decorator when
-        ``obj`` is omitted."""
-        if obj is None:
-            def decorator(fn):
-                self.register(name, fn)
-                return fn
-
-            return decorator
-        if not isinstance(name, str) or not name:
-            raise ValueError(f"{self.kind} name must be a non-empty string")
-        if name in self._entries:
-            raise ValueError(f"{self.kind} {name!r} is already registered")
-        self._entries[name] = obj
-        return obj
-
-    def unregister(self, name):
-        self._entries.pop(name, None)
-
-    def get(self, name):
-        try:
-            return self._entries[name]
-        except KeyError:
-            raise ValueError(
-                f"unknown {self.kind} {name!r} "
-                f"(available: {', '.join(sorted(self._entries))})"
-            ) from None
-
-    def names(self):
-        return sorted(self._entries)
-
-    def __contains__(self, name):
-        return name in self._entries
-
-    def __len__(self):
-        return len(self._entries)
+__all__ = [
+    "FLOORPLANS",
+    "POLICIES",
+    "Registry",
+    "SOLVER_BACKENDS",
+    "WORKLOADS",
+]
 
 
 FLOORPLANS = Registry("floorplan")

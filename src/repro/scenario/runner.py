@@ -6,14 +6,24 @@ returns uniform :class:`ScenarioResult` objects in input order.  With
 scenarios travel as their JSON-compatible dicts and come back as
 serialized reports, so the only requirement on a scenario is the same
 one the CLI imposes: it must be expressible as plain data.
+
+:meth:`Runner.run_batched` is the orthogonal fast path: instead of
+fanning scenarios out, it co-steps scenarios that share one network
+structure through a single multi-RHS thermal solve per window (one
+factorization for the whole group — see
+:class:`repro.thermal.backends.BatchedLU`).
 """
 
 import multiprocessing
 import time
+from collections import defaultdict
 from dataclasses import dataclass
+
+import numpy as np
 
 from repro.core.framework import RunReport
 from repro.scenario.spec import Scenario
+from repro.thermal.backends import BatchedLU
 
 
 @dataclass
@@ -32,13 +42,22 @@ class ScenarioResult:
         return self.error is None
 
     def to_dict(self):
-        return {
+        out = {
             "name": self.name,
             "index": self.index,
             "wall_seconds": self.wall_seconds,
             "error": self.error,
             "report": self.report.to_dict() if self.report else None,
         }
+        if self.trace is not None:
+            # A JSON-safe digest of the captured trace (the full sample
+            # list stays on the object; use trace.to_csv() to export it).
+            out["trace"] = {
+                "samples": len(self.trace),
+                "peak_temperature_k": self.trace.peak_temperature(),
+                "final_temperature_k": self.trace.final_temperature(),
+            }
+        return out
 
     def summary(self):
         if not self.ok:
@@ -112,3 +131,120 @@ class Runner:
                 )
             )
         return results
+
+    # -- batched thermal solving ----------------------------------------------
+    def run_batched(self, scenarios, library=None):
+        """Run the batch in-process, co-stepping structure-sharing groups.
+
+        Scenarios whose floorplan + grid configuration + sampling period
+        coincide (and therefore share one cached network structure) are
+        advanced window by window *together*: every window each member
+        contributes one right-hand-side column and one shared
+        :class:`~repro.thermal.backends.BatchedLU` performs a single
+        multi-RHS backward-Euler solve — one factorization for the whole
+        group instead of one per scenario per window.  The members'
+        configured solver backends are bypassed for the shared
+        integration, which carries CachedLU's bounded linearization
+        error (exact for linear stacks).
+
+        Results return in input order.  ``wall_seconds`` of each member
+        is its *group's* wall time (the solves are genuinely shared); a
+        failure while co-stepping marks every unfinished member of that
+        group as failed.
+        """
+        scenarios = list(scenarios)
+        results = [None] * len(scenarios)
+        groups = defaultdict(list)
+        for index, item in enumerate(scenarios):
+            if isinstance(item, Scenario):
+                name = item.name
+            else:
+                item = dict(item)
+                name = item.get("name", f"scenario{index}")
+            try:  # the batch survives one bad scenario
+                scenario = (
+                    item if isinstance(item, Scenario) else Scenario.from_dict(item)
+                )
+                framework = scenario.build(library=library)
+            except Exception as exc:
+                results[index] = ScenarioResult(
+                    name=name,
+                    index=index,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+                continue
+            key = (id(framework.grid), framework.config.sampling_period_s)
+            groups[key].append((index, scenario, framework))
+        for group in groups.values():
+            start = time.perf_counter()
+            completed = set()
+            try:
+                self._co_step(group, completed)
+                error = None
+            except Exception as exc:
+                error = f"{type(exc).__name__}: {exc}"
+            wall = time.perf_counter() - start
+            for position, (index, scenario, framework) in enumerate(group):
+                # A member that had already reached its bounds *before*
+                # the failing window completed normally and keeps its
+                # report; everyone else (including a member whose
+                # workload happened to finish during the window that
+                # raised) is marked failed, matching serial semantics.
+                member_error = None if position in completed else error
+                results[index] = ScenarioResult(
+                    name=scenario.name,
+                    index=index,
+                    report=None if member_error else framework.report(),
+                    wall_seconds=wall,
+                    error=member_error,
+                    trace=(
+                        framework.trace
+                        if self.capture_trace and not member_error
+                        else None
+                    ),
+                )
+        return results
+
+    @staticmethod
+    def _co_step(group, completed):
+        """Advance one structure-sharing group to its bounds, window by
+        window, through a single shared multi-RHS factorization.
+
+        ``completed`` (a set of group positions) is filled in-place as
+        members reach their bounds at a window boundary, so the caller
+        knows who finished cleanly even if a later window raises.
+        """
+        frameworks = [framework for _, _, framework in group]
+        bounds = [
+            (scenario.max_emulated_seconds, scenario.max_windows)
+            for _, scenario, _ in group
+        ]
+        backend = BatchedLU().bind(frameworks[0].network)
+        dt = frameworks[0].config.sampling_period_s
+        active = list(range(len(frameworks)))
+        while True:
+            still = []
+            for b in active:
+                if frameworks[b].bounds_reached(*bounds[b]):
+                    completed.add(b)
+                else:
+                    still.append(b)
+            active = still
+            if not active:
+                return backend
+            pending = []
+            for b in active:
+                powers, frequency = frameworks[b]._window_power()
+                pending.append((b, powers, frequency))
+            temps = np.stack(
+                [frameworks[b].solver.temperatures for b, _, _ in pending], axis=1
+            )
+            rhs = np.stack(
+                [frameworks[b].network.rhs() for b, _, _ in pending], axis=1
+            )
+            advanced = backend.step_batch(temps, dt, rhs)
+            for col, (b, powers, frequency) in enumerate(pending):
+                solver = frameworks[b].solver
+                solver.temperatures = advanced[:, col]
+                solver.time += dt
+                frameworks[b]._window_commit(powers, frequency)

@@ -60,7 +60,12 @@ class Scenario:
     ``platform`` may be ``None`` for platform-less (profiled) runs; the
     workload spec must then produce the workload itself.  ``floorplan``,
     the policy name and the workload name resolve through the registries
-    in :mod:`repro.scenario.registry`.
+    in :mod:`repro.scenario.registry`; the thermal solver backend rides
+    inside ``config.solver_backend`` (a
+    :data:`~repro.scenario.registry.SOLVER_BACKENDS` name or
+    ``{"name": ..., "params": ...}`` dict) and round-trips through JSON
+    like every other knob — so a sweep can explore backends with
+    ``{"config.solver_backend": ["sparse_be", "cached_lu"]}``.
     """
 
     name: str

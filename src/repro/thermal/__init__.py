@@ -24,13 +24,23 @@ from repro.thermal.floorplan import (
     floorplan_4xarm11,
 )
 from repro.thermal.grid import Cell, Grid, build_grid
-from repro.thermal.rc_network import RCNetwork
+from repro.thermal.rc_network import RCNetwork, clear_assembly_cache, network_for
+from repro.thermal.backends import (
+    SOLVER_BACKENDS,
+    BatchedLU,
+    CachedLU,
+    SolverBackend,
+    SparseBE,
+    make_backend,
+)
 from repro.thermal.solver import ThermalSolver
 from repro.thermal.sensors import TemperatureSensor, SensorBank
 from repro.thermal.analysis import OperatingPoint, OperatingPointAnalyzer
 
 __all__ = [
     "AMBIENT_KELVIN",
+    "BatchedLU",
+    "CachedLU",
     "OperatingPoint",
     "OperatingPointAnalyzer",
     "COPPER",
@@ -42,12 +52,18 @@ __all__ = [
     "PACKAGE_TO_AIR_RESISTANCE",
     "RCNetwork",
     "SILICON",
+    "SOLVER_BACKENDS",
     "SensorBank",
+    "SolverBackend",
+    "SparseBE",
     "TemperatureSensor",
     "ThermalProperties",
     "ThermalSolver",
     "build_grid",
+    "clear_assembly_cache",
     "floorplan_4xarm7",
     "floorplan_4xarm11",
+    "make_backend",
+    "network_for",
     "silicon_conductivity",
 ]

@@ -86,6 +86,23 @@ class Floorplan:
                 return comp
         raise KeyError(f"{self.name}: no component {name!r}")
 
+    def fingerprint(self):
+        """Hashable structural identity of the floorplan.
+
+        Two floorplans with equal fingerprints produce identical grids
+        and RC networks, so the fingerprint is the key under which
+        :func:`repro.thermal.rc_network.network_for` shares assembly.
+        """
+        return (
+            self.name,
+            self.width,
+            self.height,
+            tuple(
+                (c.name, c.x, c.y, c.width, c.height, c.power_class, c.critical)
+                for c in self.components
+            ),
+        )
+
     def active_components(self):
         return [c for c in self.components if not c.is_filler]
 

@@ -21,19 +21,36 @@ Boundary conditions (Section 5.2):
 
 Every cell interacts only with its neighbours, so assembly and solve
 cost are linear in the number of cells (sparse matrices).
+
+Power injection and component readout are precomputed sparse maps:
+``set_power`` is one matrix-vector product ``P = M_inj @ w`` over the
+component wattage vector, and per-component mean temperatures are one
+product ``W @ T`` — no per-window Python loops on the hot path.
+
+:func:`network_for` is a structure-keyed assembly cache: scenarios that
+share a floorplan and grid configuration (a parameter sweep, a batched
+run) get clones of one assembled network — grid generation and edge/
+matrix assembly happen exactly once per structure per process.
 """
+
+import copy
 
 import numpy as np
 from scipy import sparse
 
-from repro.thermal.grid import LAYER_DIE
+from repro.thermal.grid import LAYER_DIE, build_grid
 from repro.thermal.properties import silicon_conductivity
 
 
 class RCNetwork:
     """Sparse thermal RC network over a :class:`repro.thermal.grid.Grid`."""
 
+    #: process-wide count of full assemblies (clones don't count) — lets
+    #: tests assert that a sweep shared one assembly across B scenarios.
+    assemblies = 0
+
     def __init__(self, grid):
+        RCNetwork.assemblies += 1
         self.grid = grid
         self.properties = grid.properties
         n = grid.num_cells
@@ -107,12 +124,39 @@ class RCNetwork:
             g_amb[index] = 1.0 / (r_conv + r_half)
         self.g_ambient = g_amb
 
-        # Power injection vector (set_power refreshes it).
-        self.power = np.zeros(n)
-        self._component_cover = grid.component_cover
-        self._comp_area = {
+        # Precomputed sparse injection / readout maps (component order is
+        # the floorplan's cover order; both matrices are built once).
+        self.component_names = tuple(grid.component_cover)
+        self._comp_index = {
+            name: k for k, name in enumerate(self.component_names)
+        }
+        comp_area = {
             comp.name: comp.area for comp in grid.floorplan.components
         }
+        inj_rows, inj_cols, inj_data = [], [], []
+        read_rows, read_cols, read_data = [], [], []
+        for k, name in enumerate(self.component_names):
+            cover = grid.component_cover[name]
+            cover_area = sum(area for _, area in cover)
+            for cell_index, overlap in cover:
+                inj_rows.append(cell_index)
+                inj_cols.append(k)
+                inj_data.append(overlap / comp_area[name])
+                read_rows.append(k)
+                read_cols.append(cell_index)
+                read_data.append(overlap / cover_area)
+        m = len(self.component_names)
+        # injection: watts vector (m,) -> per-cell sources (n,)
+        self._injection = sparse.csr_matrix(
+            (inj_data, (inj_rows, inj_cols)), shape=(n, m)
+        )
+        # readout: cell temperatures (n,) -> area-weighted means (m,)
+        self._readout = sparse.csr_matrix(
+            (read_data, (read_rows, read_cols)), shape=(m, n)
+        )
+
+        # Power injection vector (set_power refreshes it).
+        self.power = np.zeros(n)
 
     # -- power -----------------------------------------------------------------
     def set_power(self, component_powers):
@@ -122,21 +166,33 @@ class RCNetwork:
         proportionally to overlap area ("the heat injected by the current
         source corresponds to the power density of the architectural
         component covering the cell multiplied by the surface area of the
-        cell").
+        cell") — one sparse product ``P = M_inj @ w``.
         """
-        self.power[:] = 0.0
-        for name, watts in component_powers.items():
-            if watts == 0.0:
+        watts = np.zeros(len(self.component_names))
+        for name, value in component_powers.items():
+            if value == 0.0:  # passive/filler entries carry no source
                 continue
-            cover = self._component_cover.get(name)
-            if cover is None:
+            index = self._comp_index.get(name)
+            if index is None:
                 raise KeyError(f"no floorplan component {name!r}")
-            area = self._comp_area[name]
-            for cell_index, overlap in cover:
-                self.power[cell_index] += watts * (overlap / area)
+            watts[index] = value
+        self.power = self._injection @ watts
 
     def total_power(self):
         return float(self.power.sum())
+
+    # -- readout ---------------------------------------------------------------
+    def component_temperatures(self, temperatures):
+        """Area-weighted mean temperature per component: ``W @ T``."""
+        means = self._readout @ np.asarray(temperatures)
+        return dict(zip(self.component_names, means.tolist()))
+
+    def component_temperature(self, name, temperatures):
+        index = self._comp_index.get(name)
+        if index is None:
+            raise KeyError(f"no floorplan component {name!r}")
+        row = self._readout.getrow(index)
+        return float((row @ np.asarray(temperatures))[0])
 
     # -- conductance assembly ---------------------------------------------------
     def cell_conductivity(self, temperatures):
@@ -173,3 +229,76 @@ class RCNetwork:
         return float(
             np.sum(self.g_ambient * (t - self.properties.ambient))
         )
+
+    # -- structure sharing ----------------------------------------------------
+    def clone(self):
+        """A new network sharing this one's immutable structure arrays.
+
+        Only the per-run ``power`` vector is private; capacitances, edge
+        arrays, ambient conductances and the injection/readout matrices
+        are shared read-only.  This is what makes the assembly cache in
+        :func:`network_for` safe and cheap.
+        """
+        twin = copy.copy(self)
+        twin.power = np.zeros(self.num_cells)
+        return twin
+
+
+# -- structure-keyed assembly cache ------------------------------------------
+
+_ASSEMBLY_CACHE = {}
+_ASSEMBLY_CACHE_LIMIT = 32
+
+
+def network_for(
+    floorplan,
+    mode="component",
+    refine_critical=1,
+    die_resolution=(8, 8),
+    spreader_resolution=(4, 4),
+    properties=None,
+):
+    """A ready :class:`RCNetwork` for the floorplan + grid configuration.
+
+    Structurally identical requests (same floorplan geometry, same grid
+    knobs, default properties) share one grid generation and one matrix
+    assembly per process: later calls return :meth:`RCNetwork.clone`
+    views of the cached prototype.  Custom ``properties`` bypass the
+    cache (the key would need a material fingerprint).
+    """
+    if properties is not None:
+        grid = build_grid(
+            floorplan,
+            properties=properties,
+            mode=mode,
+            refine_critical=refine_critical,
+            die_resolution=die_resolution,
+            spreader_resolution=spreader_resolution,
+        )
+        return RCNetwork(grid)
+    key = (
+        floorplan.fingerprint(),
+        mode,
+        refine_critical,
+        tuple(die_resolution),
+        tuple(spreader_resolution),
+    )
+    prototype = _ASSEMBLY_CACHE.get(key)
+    if prototype is None:
+        grid = build_grid(
+            floorplan,
+            mode=mode,
+            refine_critical=refine_critical,
+            die_resolution=die_resolution,
+            spreader_resolution=spreader_resolution,
+        )
+        prototype = RCNetwork(grid)
+        if len(_ASSEMBLY_CACHE) >= _ASSEMBLY_CACHE_LIMIT:
+            _ASSEMBLY_CACHE.pop(next(iter(_ASSEMBLY_CACHE)))
+        _ASSEMBLY_CACHE[key] = prototype
+    return prototype.clone()
+
+
+def clear_assembly_cache():
+    """Drop all cached network prototypes (tests, floorplan edits)."""
+    _ASSEMBLY_CACHE.clear()

@@ -6,23 +6,63 @@ non-linear silicon resistances for one step) and the linear system
 
     (C/dt + G(T_n)) T_{n+1} = (C/dt) T_n + P + G_amb T_amb
 
-is solved with a sparse factorization.  This is unconditionally stable,
-so the framework can step exactly one 10 ms sampling period per
-co-emulation exchange.  An explicit forward-Euler path (with a stability
-guard) and a Picard steady-state solver complete the API; the
-calibration suite in :mod:`repro.thermal.calibration` validates all
-three against closed-form solutions.
+is solved by a pluggable :class:`repro.thermal.backends.SolverBackend`.
+This is unconditionally stable, so the framework can step exactly one
+10 ms sampling period per co-emulation exchange.
+
+Backends trade assembly/factorization work for bounded linearization
+error; choose by name (``solver_backend`` in
+:class:`repro.core.framework.FrameworkConfig`):
+
+* ``sparse_be`` — the exact reference: re-assemble ``G(T_n)`` and
+  factorize every step.
+* ``cached_lu`` — factorize once, backsolve every window, and
+  **refactorize only when** ``dt`` changes or a non-linear (silicon)
+  cell drifts more than ``refactor_tolerance_kelvin`` (default 1 K)
+  from the linearization temperature.  Exact for linear stacks; bounded
+  error (sub-percent conductance perturbation) for non-linear silicon.
+* ``batched_lu`` — ``cached_lu`` plus a multi-RHS path used by batched
+  scenario sweeps: B runs share one factorization per window.
+
+An explicit forward-Euler path (with a stability guard) and a Picard
+steady-state solver complete the API; the calibration suite in
+:mod:`repro.thermal.calibration` validates all three against
+closed-form solutions.
 """
 
 import numpy as np
-from scipy import sparse
-from scipy.sparse.linalg import factorized, spsolve
+from scipy.sparse.linalg import spsolve
+
+from repro.thermal.backends import (
+    SOLVER_BACKENDS,
+    BatchedLU,
+    CachedLU,
+    SolverBackend,
+    SparseBE,
+    make_backend,
+)
+
+__all__ = [
+    "SOLVER_BACKENDS",
+    "BatchedLU",
+    "CachedLU",
+    "SolverBackend",
+    "SparseBE",
+    "ThermalSolver",
+    "make_backend",
+]
 
 
 class ThermalSolver:
-    """Time integrator bound to one :class:`RCNetwork`."""
+    """Time integrator bound to one :class:`RCNetwork`.
 
-    def __init__(self, network, initial_temperature=None):
+    ``backend`` picks the backward-Euler strategy: a registered name, a
+    ``{"name": ..., "params": ...}`` dict, a
+    :class:`~repro.thermal.backends.SolverBackend` instance, or ``None``
+    for the exact ``sparse_be`` reference.
+    """
+
+    def __init__(self, network, initial_temperature=None, backend=None):
         self.network = network
         t0 = (
             network.properties.ambient
@@ -31,19 +71,14 @@ class ThermalSolver:
         )
         self.temperatures = np.full(network.num_cells, float(t0))
         self.time = 0.0
-        self._factor_cache = None  # (dt, factorized solve) for linear reuse
+        self.backend = make_backend(backend).bind(network)
 
     # -- transient -----------------------------------------------------------
     def step_be(self, dt):
         """One semi-implicit backward-Euler step of length ``dt`` seconds."""
         if dt <= 0:
             raise ValueError(f"dt must be positive, got {dt}")
-        net = self.network
-        c_over_dt = net.capacitance / dt
-        g = net.conductance_matrix(self.temperatures)
-        a = g + sparse.diags(c_over_dt)
-        b = c_over_dt * self.temperatures + net.rhs()
-        self.temperatures = spsolve(a.tocsc(), b)
+        self.temperatures = self.backend.step(self.temperatures, dt)
         self.time += dt
         return self.temperatures
 
@@ -110,18 +145,11 @@ class ThermalSolver:
 
     def component_temperature(self, name):
         """Area-weighted mean temperature of a floorplan component."""
-        cover = self.network.grid.component_cover.get(name)
-        if not cover:
-            raise KeyError(f"no floorplan component {name!r}")
-        total_area = sum(area for _, area in cover)
-        acc = sum(self.temperatures[i] * area for i, area in cover)
-        return float(acc / total_area)
+        return self.network.component_temperature(name, self.temperatures)
 
     def component_temperatures(self):
-        return {
-            name: self.component_temperature(name)
-            for name in self.network.grid.component_cover
-        }
+        """All component means in one sparse product (``W @ T``)."""
+        return self.network.component_temperatures(self.temperatures)
 
     def reset(self, temperature=None):
         t0 = (
@@ -129,3 +157,4 @@ class ThermalSolver:
         )
         self.temperatures = np.full(self.network.num_cells, float(t0))
         self.time = 0.0
+        self.backend.invalidate()

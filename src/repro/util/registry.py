@@ -1,0 +1,52 @@
+"""A generic named string-keyed registry.
+
+Used across layers: the scenario package resolves floorplans, policies
+and workload generators by name, and the thermal package resolves solver
+backends the same way.  Living in ``repro.util`` keeps the dependency
+direction clean (thermal must not import scenario).
+"""
+
+
+class Registry:
+    """A named string-keyed registry with helpful unknown-name errors."""
+
+    def __init__(self, kind):
+        self.kind = kind
+        self._entries = {}
+
+    def register(self, name, obj=None):
+        """Register ``obj`` under ``name``; usable as a decorator when
+        ``obj`` is omitted."""
+        if obj is None:
+            def decorator(fn):
+                self.register(name, fn)
+                return fn
+
+            return decorator
+        if not isinstance(name, str) or not name:
+            raise ValueError(f"{self.kind} name must be a non-empty string")
+        if name in self._entries:
+            raise ValueError(f"{self.kind} {name!r} is already registered")
+        self._entries[name] = obj
+        return obj
+
+    def unregister(self, name):
+        self._entries.pop(name, None)
+
+    def get(self, name):
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown {self.kind} {name!r} "
+                f"(available: {', '.join(sorted(self._entries))})"
+            ) from None
+
+    def names(self):
+        return sorted(self._entries)
+
+    def __contains__(self, name):
+        return name in self._entries
+
+    def __len__(self):
+        return len(self._entries)

@@ -63,6 +63,74 @@ def test_config_rejects_nonpositive_ethernet_bandwidth():
         FrameworkConfig(ethernet_bandwidth_bps=-1.0)
 
 
+def test_config_rejects_nonpositive_physical_frequency():
+    with pytest.raises(ValueError, match="physical board frequency"):
+        FrameworkConfig(physical_hz=0.0)
+    with pytest.raises(ValueError, match="physical board frequency"):
+        FrameworkConfig(physical_hz=-100 * MHZ)
+
+
+def test_config_rejects_nonpositive_initial_temperature():
+    with pytest.raises(ValueError, match="initial temperature"):
+        FrameworkConfig(initial_temperature_kelvin=0.0)
+    with pytest.raises(ValueError, match="initial temperature"):
+        FrameworkConfig(initial_temperature_kelvin=-273.0)
+    # None (ambient) and any positive kelvin remain valid.
+    assert FrameworkConfig().initial_temperature_kelvin is None
+    assert FrameworkConfig(initial_temperature_kelvin=345.0)
+
+
+def test_config_rejects_unknown_solver_backend():
+    with pytest.raises(ValueError, match="unknown solver backend"):
+        FrameworkConfig(solver_backend="warp_drive")
+    with pytest.raises(ValueError, match="'name' entry"):
+        FrameworkConfig(solver_backend={"params": {}})
+    with pytest.raises(ValueError, match="solver_backend"):
+        FrameworkConfig(solver_backend=42)
+    # Live backend instances are not plain data: the config must stay
+    # JSON-round-trippable and per-framework (pass instances to
+    # ThermalSolver directly instead).
+    from repro.thermal.backends import CachedLU
+
+    with pytest.raises(ValueError, match="registered name"):
+        FrameworkConfig(solver_backend=CachedLU())
+    # Malformed dict shapes and bad params fail at config time too, not
+    # when the framework is wired (possibly in a worker process).
+    with pytest.raises(ValueError, match="unknown solver-backend keys"):
+        FrameworkConfig(solver_backend={"name": "cached_lu", "junk": 1})
+    with pytest.raises(TypeError):
+        FrameworkConfig(
+            solver_backend={"name": "cached_lu", "params": {"bogus": 1}}
+        )
+    with pytest.raises(ValueError, match="tolerance"):
+        FrameworkConfig(
+            solver_backend={
+                "name": "cached_lu",
+                "params": {"refactor_tolerance_kelvin": 0.0},
+            }
+        )
+
+
+def test_config_solver_backend_round_trips_and_wires_solver():
+    import json
+
+    from repro.thermal.backends import CachedLU
+
+    config = FrameworkConfig(
+        solver_backend={
+            "name": "cached_lu",
+            "params": {"refactor_tolerance_kelvin": 0.5},
+        }
+    )
+    rebuilt = FrameworkConfig.from_dict(json.loads(json.dumps(config.to_dict())))
+    assert rebuilt == config
+    framework = make_framework(solver_backend="cached_lu")
+    assert isinstance(framework.solver.backend, CachedLU)
+    sample = framework.step_window()
+    assert sample.max_temp_k > 0
+    assert framework.solver.backend.factorizations == 1
+
+
 def test_config_normalizes_sequences_to_tuples():
     config = FrameworkConfig(
         monitored_components=["arm11_0", "arm11_1"],

@@ -102,6 +102,135 @@ def test_empty_batch_and_bad_workers():
         Runner(workers=-1)
 
 
+def test_result_to_dict_includes_trace_summary():
+    import json
+
+    with_trace = Runner(capture_trace=True).run(
+        [profiled_scenario("t", iterations=10_000)]
+    )[0]
+    payload = json.loads(json.dumps(with_trace.to_dict()))
+    assert payload["trace"]["samples"] == with_trace.report.windows
+    assert payload["trace"]["peak_temperature_k"] == pytest.approx(
+        with_trace.report.peak_temperature_k
+    )
+    assert payload["trace"]["final_temperature_k"] == pytest.approx(
+        with_trace.report.final_temperature_k
+    )
+    # Without a captured trace the key stays absent (old shape).
+    without = Runner().run([profiled_scenario("t", iterations=10_000)])[0]
+    assert "trace" not in without.to_dict()
+
+
+def test_batched_matches_serial_within_tolerance():
+    scenarios = batch()
+    serial = Runner().run(scenarios)
+    batched = Runner().run_batched(scenarios)
+    assert [r.name for r in batched] == [r.name for r in serial]
+    assert [r.index for r in batched] == [0, 1, 2]
+    for s, b in zip(serial, batched):
+        assert b.ok, b.error
+        assert b.report.windows == s.report.windows
+        assert b.report.workload_done == s.report.workload_done
+        # One shared linearized factorization: bounded error vs. exact.
+        assert b.report.peak_temperature_k == pytest.approx(
+            s.report.peak_temperature_k, abs=0.5
+        )
+        assert b.report.final_temperature_k == pytest.approx(
+            s.report.final_temperature_k, abs=0.5
+        )
+
+
+def test_batched_sweep_shares_one_assembly():
+    from repro.thermal.rc_network import RCNetwork, clear_assembly_cache
+
+    scenarios = sweep(profiled_scenario("grid", iterations=50_000), {
+        "config.sensor_upper_kelvin": [342.0 + k for k in range(16)],
+    })
+    assert len(scenarios) == 16
+    clear_assembly_cache()
+    before = RCNetwork.assemblies
+    results = Runner().run_batched(scenarios)
+    assert RCNetwork.assemblies - before == 1  # 16 scenarios, one assembly
+    assert all(r.ok for r in results)
+
+
+def test_batched_failure_keeps_finished_members_reports():
+    """A mid-co-step crash fails only the unfinished group members; runs
+    that had already reached their bounds keep their reports."""
+    from repro.scenario.registry import POLICIES
+    from repro.core.thermal_manager import NoManagementPolicy
+
+    class ExplodeAfter(NoManagementPolicy):
+        def react(self, sensors, vpcm, now):
+            if now > 1.0:
+                raise RuntimeError("policy blew up")
+
+    POLICIES.register("explode_after", ExplodeAfter)
+    try:
+        short = profiled_scenario("short", iterations=10**9)
+        short.max_emulated_seconds = 0.5
+        long = profiled_scenario("long", iterations=10**9,
+                                 policy="explode_after")
+        long.max_emulated_seconds = 5.0
+        finished, failed = Runner().run_batched([short, long])
+    finally:
+        POLICIES.unregister("explode_after")
+    assert finished.ok
+    assert finished.report.emulated_seconds == pytest.approx(0.5)
+    assert not failed.ok
+    assert "policy blew up" in failed.error
+    assert failed.report is None
+
+
+def test_batched_member_failing_in_its_final_window_is_failed():
+    """A scenario whose workload completes during the very window that
+    raises must come back FAILED (matching serial semantics), not as a
+    bogus zero-window success."""
+    from repro.scenario.registry import POLICIES
+    from repro.core.thermal_manager import NoManagementPolicy
+
+    class AlwaysExplode(NoManagementPolicy):
+        def react(self, sensors, vpcm, now):
+            raise RuntimeError("policy blew up")
+
+    POLICIES.register("always_explode", AlwaysExplode)
+    try:
+        scenario = profiled_scenario("doomed", iterations=1,
+                                     policy="always_explode")
+        [batched] = Runner().run_batched([scenario])
+        [serial] = Runner().run([scenario])
+    finally:
+        POLICIES.unregister("always_explode")
+    assert not serial.ok
+    assert not batched.ok
+    assert "policy blew up" in batched.error
+    assert batched.report is None
+
+
+def test_batched_captures_per_scenario_build_errors():
+    bad = profiled_scenario("bad")
+    bad.floorplan = "missing_floorplan"
+    results = Runner(capture_trace=True).run_batched(
+        [profiled_scenario("good", iterations=10_000), bad]
+    )
+    good, failed = results
+    assert good.ok and good.report is not None
+    assert len(good.trace) == good.report.windows
+    assert not failed.ok
+    assert "unknown floorplan" in failed.error
+
+
+def test_batched_survives_malformed_raw_dicts():
+    results = Runner().run_batched(
+        [profiled_scenario("good", iterations=10_000).to_dict(), {"name": "x"}]
+    )
+    good, failed = results
+    assert good.ok and good.report is not None
+    assert not failed.ok
+    assert failed.name == "x"
+    assert "workload" in failed.error
+
+
 def test_sweep_through_runner():
     scenarios = sweep(profiled_scenario("grid", iterations=10_000), {
         "config.sensor_upper_kelvin": [360.0, 350.0],

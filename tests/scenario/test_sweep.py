@@ -89,6 +89,33 @@ def test_swept_scenarios_stay_json_expressible():
         assert rebuilt == scenario
 
 
+def test_solver_backend_is_sweepable_and_json_expressible():
+    scenarios = sweep(base_scenario(), {
+        "config.solver_backend": ["sparse_be", "cached_lu",
+                                  {"name": "cached_lu",
+                                   "params": {"refactor_tolerance_kelvin": 0.5}}],
+    })
+    assert [s.config.solver_backend for s in scenarios][:2] == [
+        "sparse_be", "cached_lu",
+    ]
+    for scenario in scenarios:
+        rebuilt = Scenario.from_dict(json.loads(json.dumps(scenario.to_dict())))
+        assert rebuilt == scenario
+
+
+def test_suite_batched_run_matches_plain_run():
+    suite = ExperimentSuite.from_sweep(
+        "thresholds", base_scenario(),
+        {"config.sensor_upper_kelvin": [360.0, 350.0]},
+    )
+    plain = suite.run()
+    batched = suite.run(batched=True)
+    assert [r.name for r in batched] == [r.name for r in plain]
+    for p, b in zip(plain, batched):
+        assert b.ok, b.error
+        assert b.report.windows == p.report.windows
+
+
 def test_suite_round_trip_and_from_sweep():
     suite = ExperimentSuite.from_sweep(
         "thresholds", base_scenario(),
