@@ -1,162 +1,50 @@
-"""Figure 6 — temperature evolution of MATRIX-TM at 500 MHz, with and
-without run-time thermal management.
+"""Figure 6 — temperature evolution with and without run-time thermal
+management.
 
-The paper's flagship experiment: a 100 K-matrix workload on the 4x ARM11
-floorplan (Figure 4b), 10 ms sampling, temperature sensors feeding the
-dual-threshold DFS policy (scale to 100 MHz above 350 K, back to 500 MHz
-below 340 K).  MPARM could only cover the first 0.18 s of this run in
-two days of simulation; the emulator runs it end to end.
-
-This bench regenerates both temperature series (unmanaged and DFS),
-prints them as ASCII charts, writes the CSVs next to the other results,
-and checks the published shape: the unmanaged run sails past 350 K
-toward its >420 K steady state, the managed run oscillates inside the
-340-350 K hysteresis band and takes proportionally longer to finish.
+The paper's flagship experiment is regenerated and checked by the
+``fig6`` artifact of the reproduction pipeline (``python -m repro
+report``), which runs the MATRIX-TM-class stress presets (unmanaged and
+dual-threshold DFS) through the scenario :class:`Runner` and verifies
+the published shape: the unmanaged run sails past 350 K, the managed run
+oscillates inside the 340-350 K hysteresis band and takes
+proportionally longer to finish.  This bench drives the same artifact
+components directly so it can also export the two temperature CSVs and
+benchmark one closed-loop sampling window, and checks the sensor
+threshold-crossing pattern on the DFS run.
 """
 
-import pytest
-
-from repro.core import (
-    DualThresholdDfsPolicy,
-    EmulationFramework,
-    FrameworkConfig,
-    NoManagementPolicy,
-    ProfiledWorkload,
-    profile_platform_run,
-)
-from repro.mpsoc import MPSoCConfig, build_platform
-from repro.mpsoc.cache import CacheConfig
-from repro.mpsoc.platform import CoreConfig
-from repro.power.models import PowerModel
-from repro.thermal.floorplan import floorplan_4xarm11
-from repro.util.records import Table, format_duration
-from repro.util.units import KB, MHZ
-from repro.workloads.matrix import matrix_programs
-
-TOTAL_MATRICES = 100_000  # the paper's workload
-UPPER_K = 350.0
-LOWER_K = 340.0
+from repro.report.artifacts import ARTIFACTS
+from repro.scenario.presets import PRESETS
+from repro.scenario.runner import Runner
+from repro.util.records import Table
 
 
-@pytest.fixture(scope="module")
-def matrix_profile():
-    """One cycle-accurate MATRIX iteration on the paper's TM platform:
-    4x RISC-32 @ 500 MHz, 8 KB direct-mapped I/D caches, 32 KB private
-    memories, one 32 KB shared memory (Section 7)."""
-    platform = build_platform(
-        MPSoCConfig(
-            name="matrix-tm",
-            cores=[
-                CoreConfig(f"cpu{i}", spec="arm11", frequency_hz=500 * MHZ)
-                for i in range(4)
-            ],
-            icache=CacheConfig(name="i", size=8 * KB, line_size=16),
-            dcache=CacheConfig(name="d", size=8 * KB, line_size=16),
-            private_mem_size=32 * KB,
-            shared_mem_size=32 * KB,
-        )
-    )
-    platform.load_program_all(matrix_programs(4, n=24, iterations=1))
-    model = PowerModel(floorplan_4xarm11())
-    return profile_platform_run(platform, model, iterations=1, name="matrix-tm")
+def test_fig6_temperature_evolution(benchmark, report, results_dir):
+    artifact = ARTIFACTS.get("fig6")()
+    results = Runner(capture_trace=True).run(list(artifact.scenarios))
+    assert all(r.ok for r in results), [r.error for r in results]
+    values, body = artifact.extract(results)
+    checks = [check.evaluate(values) for check in artifact.checks]
+    assert all(c.passed for c in checks), [
+        f"{c.metric}={c.formatted_value()} (expected {c.expectation})"
+        for c in checks
+        if not c.passed
+    ]
+    report("fig6_thermal_runtime", body)
+    unmanaged, managed = results
+    (results_dir / "fig6_no_tm.csv").write_text(unmanaged.trace.to_csv())
+    (results_dir / "fig6_dfs.csv").write_text(managed.trace.to_csv())
 
-
-def run_tm(profile, policy, horizon_s=400.0):
-    framework = EmulationFramework(
-        platform=None,
-        floorplan=floorplan_4xarm11(),
-        workload=ProfiledWorkload(
-            profile, total_iterations=TOTAL_MATRICES / 4  # 4 matrices/iter
-        ),
-        policy=policy,
-        config=FrameworkConfig(
-            virtual_hz=500 * MHZ,
-            sensor_upper_kelvin=UPPER_K,
-            sensor_lower_kelvin=LOWER_K,
-        ),
-    )
-    report = framework.run(max_emulated_seconds=horizon_s)
-    return framework, report
-
-
-def test_fig6_temperature_evolution(benchmark, report, matrix_profile, results_dir):
-    unmanaged_fw, unmanaged = run_tm(matrix_profile, NoManagementPolicy())
-    managed_fw, managed = run_tm(
-        matrix_profile, DualThresholdDfsPolicy(high_hz=500 * MHZ, low_hz=100 * MHZ)
-    )
-
-    chart_a = unmanaged_fw.trace.ascii_chart(
-        width=68, height=14,
-        title="Figure 6 (a): MATRIX-TM at 500 MHz, no thermal management "
-        "(max component temperature)",
-    )
-    chart_b = managed_fw.trace.ascii_chart(
-        width=68, height=14,
-        title="Figure 6 (b): MATRIX-TM with dual-threshold DFS "
-        f"({UPPER_K:.0f}/{LOWER_K:.0f} K -> 100/500 MHz)",
-    )
-    summary = Table(
-        ["run", "peak K", "final K", "emulated", "board time",
-         "DFS switches", "100 MHz duty"],
-        title="Figure 6 summary",
-    )
-    for label, framework, run_report in [
-        ("no TM", unmanaged_fw, unmanaged),
-        ("DFS", managed_fw, managed),
-    ]:
-        summary.add_row(
-            label,
-            f"{run_report.peak_temperature_k:.1f}",
-            f"{run_report.final_temperature_k:.1f}",
-            format_duration(run_report.emulated_seconds),
-            format_duration(run_report.fpga_real_seconds),
-            run_report.frequency_transitions,
-            f"{framework.trace.duty_cycle(100 * MHZ) * 100:.0f}%",
-        )
-    mparm_coverage = 0.18 / unmanaged.emulated_seconds * 100
-    notes = (
-        f"MPARM coverage note: in the paper, two days of MPARM simulation "
-        f"covered only the first 0.18 s of this run "
-        f"({mparm_coverage:.1f}% of our {unmanaged.emulated_seconds:.1f} s "
-        "unmanaged emulated duration) — the 'left corner of Figure 6'."
-    )
-    report("fig6_thermal_runtime", f"{chart_a}\n\n{chart_b}\n\n{summary}\n\n{notes}")
-    (results_dir / "fig6_no_tm.csv").write_text(unmanaged_fw.trace.to_csv())
-    (results_dir / "fig6_dfs.csv").write_text(managed_fw.trace.to_csv())
-
-    # --- the published shape ------------------------------------------------
-    # Unmanaged: the die overheats well past the 350 K threshold.
-    assert unmanaged.peak_temperature_k > 360.0
-    assert unmanaged.workload_done
-    # Managed: clamped at the upper threshold (one sampling period of
-    # overshoot allowed), oscillating inside the hysteresis band.
-    assert managed.peak_temperature_k < UPPER_K + 2.0
-    assert managed.frequency_transitions >= 4
-    late = managed_fw.trace.max_temps()[len(managed_fw.trace) // 2 :]
-    assert min(late) > LOWER_K - 2.0
-    # DFS pays with run time: same work, longer emulated duration.
-    assert managed.emulated_seconds > 1.2 * unmanaged.emulated_seconds
-    # Both runs complete the 100 K-matrix workload.
-    assert managed.workload_done
-
-    # Benchmark one closed-loop sampling window (platform + thermal +
+    # Benchmark one closed-loop sampling window (workload + thermal +
     # sensors + policy), the unit of real-time co-emulation.
-    framework = EmulationFramework(
-        platform=None,
-        floorplan=floorplan_4xarm11(),
-        workload=ProfiledWorkload(matrix_profile, total_iterations=10**9),
-        policy=DualThresholdDfsPolicy(),
-        config=FrameworkConfig(virtual_hz=500 * MHZ),
-    )
+    framework = PRESETS.get("matrix_tm_dfs")().build()
     benchmark(framework.step_window)
 
 
-def test_fig6_sensor_crossings(benchmark, report, matrix_profile):
+def test_fig6_sensor_crossings(benchmark, report):
     """The DFS trace's threshold crossings alternate over/under, starting
     with the first over-crossing the paper's policy reacts to."""
-    managed_fw, _ = run_tm(
-        matrix_profile, DualThresholdDfsPolicy(high_hz=500 * MHZ, low_hz=100 * MHZ)
-    )
+    managed_fw, _ = PRESETS.get("matrix_tm_dfs")().run()
     # Benchmark the sensor-bank update (the per-window feedback path).
     temps = managed_fw.solver.component_temperatures()
     benchmark(managed_fw.sensors.update, temps, 0.0)

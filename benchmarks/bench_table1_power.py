@@ -1,74 +1,45 @@
 """Table 1 — power of the most important MPSoC components (130 nm).
 
-Regenerates the paper's Table 1 from the technology library and checks
-the published values; the benchmark times the run-time power-model
-evaluation (the per-window activity-to-watts conversion the co-emulation
-loop performs).
+The table itself is regenerated and checked by the ``table1`` artifact
+of the reproduction pipeline (``python -m repro report``); this bench
+runs that artifact and times the run-time power-model evaluation (the
+per-window activity-to-watts conversion the co-emulation loop performs).
 """
 
-import pytest
-
-from repro.power.library import DEFAULT_LIBRARY
 from repro.power.models import ActivityVector, PowerModel
-from repro.thermal.floorplan import floorplan_4xarm11
-from repro.util.records import Table
-from repro.util.units import MHZ, MM2, MW, W
-
-# (library key, paper's max power W, paper's density W/mm2)
-PAPER_ROWS = [
-    ("arm7", 5.5e-3, 0.03),
-    ("arm11", 1.5, 0.5),
-    ("dcache_8k_2w", 43e-3, 0.012),
-    ("icache_8k_dm", 11e-3, 0.03),
-    ("sram_32k", 15e-3, 0.02),
-]
+from repro.report.artifacts import ARTIFACTS
+from repro.report.pipeline import render_verdicts
+from repro.thermal.floorplan import floorplan_4xarm7, floorplan_4xarm11
+from repro.util.units import MHZ
 
 
 def test_table1_power(benchmark, report):
+    result = ARTIFACTS.get("table1")().run()
+    assert result.ok, render_verdicts([result])
+    report("table1_power", result.body)
+
     model = PowerModel(floorplan_4xarm11())
     activity = ActivityVector(1000)
     for comp in model.floorplan.active_components():
         activity.set(comp.activity_source, 0.73)
-
     benchmark(model.component_power, activity, 500 * MHZ)
-
-    table = Table(
-        ["Component", "Max power", "Max power density", "area (mm2)"],
-        title="Table 1: power for most important components of an MPSoC "
-        "design (130nm bulk CMOS)",
-    )
-    for label, power, density in DEFAULT_LIBRARY.table_rows():
-        name = next(
-            (k for k, *_ in PAPER_ROWS if DEFAULT_LIBRARY[k].label == label), None
-        )
-        area = DEFAULT_LIBRARY.area(name) / MM2 if name else float("nan")
-        table.add_row(label, power, density, f"{area:.3f}")
-    report("table1_power", str(table))
-
-    # The library must reproduce the published numbers exactly.
-    for name, power, density in PAPER_ROWS:
-        cls = DEFAULT_LIBRARY[name]
-        assert cls.max_power == pytest.approx(power)
-        assert cls.power_density * MM2 == pytest.approx(density)
-        # Internal consistency: area x density = max power.
-        assert cls.area * cls.power_density == pytest.approx(cls.max_power)
 
 
 def test_table1_peak_platform_power(benchmark, report):
-    """Whole-floorplan peak power at both Figure 4 operating points."""
-    from repro.thermal.floorplan import floorplan_4xarm7
+    """Whole-floorplan peak power at both Figure 4 operating points.
 
-    rows = Table(
-        ["floorplan", "clock", "peak power"],
-        title="Peak platform power implied by Table 1",
+    The peak values and their sanity bands live in the artifact's
+    checks; the bench only times the sizing-aid evaluation.
+    """
+    result = ARTIFACTS.get("table1")().run()
+    assert result.ok, render_verdicts([result])
+    report(
+        "table1_peak_power",
+        "\n".join(
+            f"{metric} = {value:.4g}"
+            for metric, value in sorted(result.values.items())
+            if metric.startswith("peak_power")
+        ),
     )
     arm7 = PowerModel(floorplan_4xarm7())
-    arm11 = PowerModel(floorplan_4xarm11())
-    peak7 = benchmark(arm7.peak_power, 100 * MHZ)
-    peak11 = arm11.peak_power(500 * MHZ)
-    rows.add_row("4x ARM7 (Fig 4a)", "100 MHz", f"{peak7 / MW:.1f} mW")
-    rows.add_row("4x ARM11 (Fig 4b)", "500 MHz", f"{peak11 / W:.2f} W")
-    report("table1_peak_power", str(rows))
-    # Sanity: the ARM11 design is the thermally interesting one.
-    assert peak11 > 20 * peak7
-    assert 6.0 < peak11 < 12.0
+    benchmark(arm7.peak_power, 100 * MHZ)

@@ -1,52 +1,39 @@
 """Table 2 — thermal properties of the RC model.
 
-Regenerates the property table and validates the non-linear silicon
-conductivity law; the benchmark times the conductance-matrix refresh
-that the non-linear law forces on every solver step.
+The property table and the non-linear conductivity law are regenerated
+and checked by the ``table2`` artifact of the reproduction pipeline
+(``python -m repro report``); this bench runs that artifact and times
+the two costs the law imposes on the solver: the vectorized k(T)
+evaluation and the conductance-matrix refresh it forces every step.
 """
 
 import numpy as np
-import pytest
 
+from repro.report.artifacts import ARTIFACTS
+from repro.report.pipeline import render_verdicts
 from repro.thermal.calibration import uniform_floorplan
-from repro.thermal.grid import build_grid
-from repro.thermal.properties import (
-    ThermalProperties,
-    silicon_conductivity,
-)
-from repro.thermal.rc_network import RCNetwork
-from repro.util.records import Table
+from repro.thermal.properties import silicon_conductivity
+from repro.thermal.rc_network import network_for
 
 
 def test_table2_properties(benchmark, report):
+    result = ARTIFACTS.get("table2")().run()
+    assert result.ok, render_verdicts([result])
+    report("table2_thermal_properties", result.body)
+
     temps = np.linspace(300.0, 400.0, 660)
     benchmark(silicon_conductivity, temps)
-
-    props = ThermalProperties()
-    table = Table(["property", "value"], title="Table 2: thermal properties")
-    for name, value in props.table():
-        table.add_row(name, value)
-    curve = Table(
-        ["T (K)", "k_si (W/mK)"],
-        title="Non-linear silicon conductivity 150*(300/T)^(4/3)",
-    )
-    for t in (300, 320, 340, 360, 380, 400):
-        curve.add_row(t, f"{silicon_conductivity(float(t)):.1f}")
-    report("table2_thermal_properties", f"{table}\n\n{curve}")
-
-    assert silicon_conductivity(300.0) == pytest.approx(150.0)
-    ratio = silicon_conductivity(400.0) / silicon_conductivity(300.0)
-    assert ratio == pytest.approx((300.0 / 400.0) ** (4.0 / 3.0))
 
 
 def test_table2_nonlinear_assembly_cost(benchmark, report):
     """Time the G(T) refresh on a 660-cell-class grid (the cost the
     non-linear resistances add per transient step)."""
-    plan = uniform_floorplan()
-    grid = build_grid(
-        plan, mode="uniform", die_resolution=(18, 18), spreader_resolution=(18, 18)
+    net = network_for(
+        uniform_floorplan(),
+        mode="uniform",
+        die_resolution=(18, 18),
+        spreader_resolution=(18, 18),
     )
-    net = RCNetwork(grid)
     t = np.full(net.num_cells, 330.0)
     benchmark(net.conductance_matrix, t)
     report(

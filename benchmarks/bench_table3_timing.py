@@ -1,164 +1,42 @@
 """Table 3 — timing comparison: HW/SW emulation framework vs MPARM.
 
-Regenerates the paper's headline table.  For every row we
-
-1. build the row's platform in the emulated-MPSoC substrate, run its
-   workload cycle-accurately and count virtual cycles;
-2. convert cycles to wall-clock with the two calibrated platform models
-   (the flat 100 MHz emulator, the component-power-law MPARM model);
-3. check the paper's shape: the emulator column is flat in system size,
-   the speedup column grows past three orders of magnitude.
-
-A measured companion experiment runs the same small workload on the
-event-driven engine and on the signal-level engine (this repo's own
-"emulator vs cycle-accurate simulator" pair) and reports their rates —
+The paper's headline table is regenerated and checked by the ``table3``
+artifact of the reproduction pipeline (``python -m repro report``): each
+published row is a declarative :class:`~repro.scenario.spec.Scenario`
+(platform + workload through the registries), run cycle-accurately by
+the :class:`~repro.scenario.runner.Runner`, with the calibrated
+emulator/MPARM wall-clock models converting cycles to the published
+speedup shape.  This bench runs that artifact, then adds the measured
+companion experiment: the same small workload on the event-driven engine
+and on the signal-level engine (this repo's own "emulator vs
+cycle-accurate simulator" pair), whose gap widens as stalls dominate —
 the same shape, with real numbers from this machine.
 """
 
 import time
 
-import pytest
-
 from repro.emulation.cycle_accurate import CycleAccurateEngine
 from repro.emulation.engine import EventDrivenEngine
-from repro.emulation.perfmodel import (
-    DEFAULT_MPARM_MODEL,
-    EmulatorPerformanceModel,
-    TABLE3_ROWS,
-)
-from repro.mpsoc import BusConfig, MPSoCConfig, build_platform, generate_custom
-from repro.mpsoc.cache import CacheConfig
+from repro.mpsoc import MPSoCConfig, build_platform
 from repro.mpsoc.platform import CoreConfig
-from repro.util.records import Table, format_duration
-from repro.util.units import KB, MB, MHZ
-from repro.workloads.dithering import dithering_programs, load_images
+from repro.report.artifacts import ARTIFACTS
+from repro.report.pipeline import render_verdicts
+from repro.util.records import Table
 from repro.workloads.matrix import matrix_programs
 
 
-def matrix_platform(num_cores, interconnect="bus", noc=None, private_kb=16,
-                    cache_bytes=4 * KB, shared_bytes=1 * MB):
-    """The paper's Table 3 configuration: 4 KB I/D caches, 16 KB private
-    memory, 1 MB shared main memory, OPB bus (or the given NoC)."""
-    return build_platform(
-        MPSoCConfig(
-            name=f"mx{num_cores}",
-            cores=[CoreConfig(f"cpu{i}") for i in range(num_cores)],
-            icache=CacheConfig(name="i", size=cache_bytes, line_size=16),
-            dcache=CacheConfig(name="d", size=cache_bytes, line_size=16),
-            private_mem_size=private_kb * KB,
-            shared_mem_size=shared_bytes,
-            interconnect=interconnect,
-            bus=BusConfig(name="opb", kind="opb") if interconnect == "bus" else None,
-            noc=noc,
-        )
-    )
-
-
-def run_workload(platform, programs, images=None):
-    if images:
-        load_images(platform, *images)
-    platform.load_program_all(programs)
-    engine = EventDrivenEngine(platform)
-    t0 = time.perf_counter()
-    instructions, end_cycle = engine.run_to_completion()
-    wall = time.perf_counter() - t0
-    return instructions, end_cycle, wall
-
-
-def _row_configs():
-    """(paper row, platform factory, programs factory, images) tuples."""
-    dith_noc = lambda: generate_custom("noc2", 2, ring=False, buffer_flits=3)
-    tm_noc = lambda: generate_custom(
-        "noc4", 4, extra_links=[(0, 2), (1, 3)], buffer_flits=3
-    )
-    return [
-        (TABLE3_ROWS[0], lambda: matrix_platform(1),
-         lambda: matrix_programs(1, n=8), None),
-        (TABLE3_ROWS[1], lambda: matrix_platform(4),
-         lambda: matrix_programs(4, n=8), None),
-        (TABLE3_ROWS[2], lambda: matrix_platform(8),
-         lambda: matrix_programs(8, n=8), None),
-        (TABLE3_ROWS[3], lambda: matrix_platform(4, shared_bytes=1 * MB),
-         lambda: dithering_programs(4, 32, 32, 2), (32, 32, 2)),
-        (TABLE3_ROWS[4],
-         lambda: matrix_platform(4, interconnect="noc", noc=dith_noc()),
-         lambda: dithering_programs(4, 32, 32, 2), (32, 32, 2)),
-        (TABLE3_ROWS[5],
-         lambda: matrix_platform(4, interconnect="noc", noc=tm_noc(),
-                                 private_kb=32, cache_bytes=8 * KB,
-                                 shared_bytes=32 * KB),
-         lambda: matrix_programs(4, n=8), None),
-    ]
-
-
 def test_table3_timing(benchmark, report):
-    emulator = EmulatorPerformanceModel()
-    mparm = DEFAULT_MPARM_MODEL
-
-    table = Table(
-        [
-            "configuration",
-            "cycles (ours)",
-            "MPARM (paper)",
-            "HW emu (paper)",
-            "speedup (paper)",
-            "MPARM (model)",
-            "HW emu (model)",
-            "speedup (model)",
-        ],
-        title="Table 3: timing comparison, MPARM vs the HW/SW emulation "
-        "framework (our workloads are smaller than the paper's, so "
-        "absolute wall-clocks differ; the shape is the claim)",
-    )
-
-    emulator_walls = []
-    speedups = []
-    for row, make_platform, make_programs, images in _row_configs():
-        name, cores, comps, switches, io_bound, thermal, mparm_s, emu_s, speedup = row
-        platform = make_platform()
-        instructions, cycles, sim_wall = run_workload(
-            platform, make_programs(), images
-        )
-        if thermal:
-            # MATRIX-TM: the measured kernel repeats for a 100K-matrix
-            # workload (25K platform iterations of 4 parallel matrices).
-            cycles *= 25_000
-        components = sum(1 for _ in platform.components())
-        model_mparm = mparm.wall_seconds(
-            cycles, cores, components, switches, io_bound, thermal
-        )
-        model_emu = emulator.wall_seconds(cycles)
-        model_speedup = model_mparm / model_emu
-        if not thermal:
-            emulator_walls.append(model_emu)
-        speedups.append((name, speedup, model_speedup))
-        table.add_row(
-            name,
-            f"{cycles:.3g}",
-            format_duration(mparm_s),
-            format_duration(emu_s),
-            f"{speedup}x",
-            format_duration(model_mparm),
-            format_duration(model_emu),
-            f"{model_speedup:.0f}x",
-        )
-    report("table3_timing", str(table))
-
-    # Shape check 1: the emulator's wall-clock is flat across the MATRIX
-    # 1/4/8-core rows (the paper's column is constant 1.2 s).
-    matrix_walls = emulator_walls[:3]
-    assert max(matrix_walls) / min(matrix_walls) < 1.20
-
-    # Shape check 2: the modelled speedups track the published ones.
-    for name, published, modelled in speedups:
-        assert modelled == pytest.approx(published, rel=0.35), name
-
-    # Shape check 3: three orders of magnitude for the thermal row.
-    assert speedups[-1][2] > 1000
+    result = ARTIFACTS.get("table3")().run()
+    assert result.ok, render_verdicts([result])
+    report("table3_timing", result.body)
 
     # Benchmark the vehicle itself: one emulated MATRIX execution.
     def kernel():
-        platform = matrix_platform(1)
+        platform = build_platform(
+            MPSoCConfig(
+                name="mx1", cores=[CoreConfig("cpu0")], shared_mem_size=1 << 20
+            )
+        )
         platform.load_program_all(matrix_programs(1, n=6))
         EventDrivenEngine(platform).run_to_completion()
 
@@ -224,7 +102,11 @@ def test_table3_measured_engine_shape(benchmark, report):
     assert rows[-1][1] / rows[-1][2] > rows[0][1] / rows[0][2]
 
     def kernel():
-        platform = matrix_platform(1)
+        platform = build_platform(
+            MPSoCConfig(
+                name="mx1", cores=[CoreConfig("cpu0")], shared_mem_size=1 << 20
+            )
+        )
         platform.load_program_all(matrix_programs(1, n=5))
         CycleAccurateEngine(platform).run()
 

@@ -7,10 +7,13 @@ Usage::
     python -m repro --list-presets
     python -m repro --list-backends
     python -m repro matrix_quickstart --dump > scenario.json
+    python -m repro report [--artifact NAME] [--check]
 
 A spec file holds either one scenario (``Scenario.to_dict()`` form) or a
 suite (``{"name": ..., "scenarios": [...]}``); every run prints the
-report summary, and ``--json`` emits the full serialized results.
+report summary, and ``--json`` emits the full serialized results.  The
+``report`` subcommand runs the paper-reproduction pipeline
+(:mod:`repro.report`): all five paper artifacts, one ``REPRODUCTION.md``.
 """
 
 import argparse
@@ -41,13 +44,21 @@ def _load_scenarios(spec):
 
 
 def main(argv=None):
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if argv and argv[0] == "report":
+        # The reproduction pipeline has its own flags; hand it the rest.
+        from repro.report.cli import main as report_main
+
+        return report_main(argv[1:])
+
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Run thermal co-emulation scenarios from JSON specs or presets.",
     )
     parser.add_argument(
         "spec", nargs="?",
-        help="path to a scenario/suite JSON file, or a preset name",
+        help="path to a scenario/suite JSON file, a preset name, or the "
+        "'report' subcommand (python -m repro report --help)",
     )
     parser.add_argument(
         "--workers", type=int, default=1,

@@ -39,6 +39,7 @@ class FrameworkConfig:
     monitored_components: tuple | None = None  # default: every active component
     grid_mode: str = "component"
     refine_critical: int = 1
+    die_resolution: tuple = (8, 8)  # uniform-mode die grid (cells x, y)
     spreader_resolution: tuple = (3, 3)
     ethernet_bandwidth_bps: float = 100e6
     bram_capacity_bytes: int = 64 * 1024
@@ -70,7 +71,18 @@ class FrameworkConfig:
             raise ValueError("Ethernet bandwidth must be positive")
         if self.monitored_components is not None:
             self.monitored_components = tuple(self.monitored_components)
+        self.die_resolution = tuple(self.die_resolution)
         self.spreader_resolution = tuple(self.spreader_resolution)
+        for label, resolution in (
+            ("die_resolution", self.die_resolution),
+            ("spreader_resolution", self.spreader_resolution),
+        ):
+            if len(resolution) != 2 or any(
+                not isinstance(n, int) or n < 1 for n in resolution
+            ):
+                raise ValueError(
+                    f"{label} must be two positive cell counts, got {resolution}"
+                )
 
     def _validate_solver_backend(self):
         """Reject bad backend specs (unknown names, malformed dicts, bad
@@ -96,6 +108,7 @@ class FrameworkConfig:
     def to_dict(self):
         """JSON-compatible dict; ``from_dict`` round-trips it losslessly."""
         out = asdict(self)
+        out["die_resolution"] = list(self.die_resolution)
         out["spreader_resolution"] = list(self.spreader_resolution)
         if self.monitored_components is not None:
             out["monitored_components"] = list(self.monitored_components)
@@ -208,6 +221,7 @@ class EmulationFramework:
             floorplan,
             mode=cfg.grid_mode,
             refine_critical=cfg.refine_critical,
+            die_resolution=cfg.die_resolution,
             spreader_resolution=cfg.spreader_resolution,
         )
         self.grid = self.network.grid
@@ -327,7 +341,7 @@ class EmulationFramework:
         return self.report()
 
     def report(self):
-        extras = {}
+        extras = {"thermal_cells": self.network.num_cells}
         if self.platform is not None:
             extras["interconnect"] = _string_keyed(self.platform.interconnect.stats())
             # The platform finish cycle: idle alignment at window
@@ -336,6 +350,7 @@ class EmulationFramework:
             extras["end_cycle"] = max(
                 c.active_cycles + c.stall_cycles for c in self.platform.cores
             )
+            extras["components"] = sum(1 for _ in self.platform.components())
         return RunReport(
             emulated_seconds=self.vpcm.emulated_seconds,
             fpga_real_seconds=self.vpcm.real_seconds,

@@ -98,6 +98,15 @@ class ThermalTrace:
                 total += cur.time_s - prev.time_s
         return total
 
+    def digest(self):
+        """A JSON-safe summary of the trace (the full sample list stays
+        on the object; use :meth:`to_csv` to export it)."""
+        return {
+            "samples": len(self),
+            "peak_temperature_k": self.peak_temperature(),
+            "final_temperature_k": self.final_temperature(),
+        }
+
     def to_csv(self):
         """CSV text: time, frequency, power, max temperature, components."""
         if not self.samples:

@@ -1,0 +1,88 @@
+"""``python -m repro report`` — run the paper-reproduction pipeline.
+
+Usage::
+
+    python -m repro report                      # full REPRODUCTION.md + JSON
+    python -m repro report --artifact table1    # a subset (repeatable)
+    python -m repro report --check              # verdicts only, exit 1 on fail
+    python -m repro report --list               # registered artifacts
+    python -m repro report --output build/      # write elsewhere
+
+``--check`` is the CI regression gate on the paper's numbers: it runs
+the selected artifacts, prints one verdict line each, and exits nonzero
+when any extracted value leaves its tolerance.
+"""
+
+import argparse
+import sys
+
+from repro.report.artifacts import ARTIFACTS
+from repro.report.pipeline import (
+    default_artifact_names,
+    render_verdicts,
+    run_artifacts,
+    write_report,
+)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro report",
+        description="Reproduce the paper's tables and figures as one "
+        "verified Markdown report.",
+    )
+    parser.add_argument(
+        "--artifact", action="append", metavar="NAME",
+        help="run only this artifact (repeatable; default: all)",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="print verdicts only (no report files); exit 1 on any "
+        "failed check",
+    )
+    parser.add_argument(
+        "--output", default=".", metavar="DIR",
+        help="directory for REPRODUCTION.md and reproduction.json "
+        "(default: current directory)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", dest="list_artifacts",
+        help="list registered artifacts and exit",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress progress lines"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_artifacts:
+        for name in default_artifact_names():
+            artifact = ARTIFACTS.get(name)()
+            print(f"{name:10s} {artifact.title} [{artifact.paper_ref}]")
+        return 0
+
+    names = args.artifact or None
+    if names:
+        unknown = [n for n in names if n not in ARTIFACTS]
+        if unknown:
+            print(
+                f"error: unknown artifact(s) {', '.join(unknown)} "
+                f"(available: {', '.join(ARTIFACTS.names())})",
+                file=sys.stderr,
+            )
+            return 2
+
+    progress = None if args.quiet else (lambda line: print(line, flush=True))
+    results = run_artifacts(names=names, progress=progress)
+
+    if args.check:
+        print(render_verdicts(results))
+        return 0 if all(r.ok for r in results) else 1
+
+    markdown_path, json_path = write_report(results, output_dir=args.output)
+    print(render_verdicts(results))
+    print(f"wrote {markdown_path} and {json_path}")
+    return 0 if all(r.ok for r in results) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

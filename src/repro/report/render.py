@@ -1,0 +1,62 @@
+"""Markdown rendering helpers for the reproduction report.
+
+The benches and the report pipeline share :class:`repro.util.records.Table`
+as their tabular currency; this module converts those tables (and ASCII
+charts, and pass/fail verdicts) into the GitHub-flavoured Markdown that
+``REPRODUCTION.md`` is written in.
+"""
+
+from repro.util.records import Table
+
+PASS = "PASS"
+FAIL = "FAIL"
+
+
+def verdict(ok):
+    """The report's uniform pass/fail marker."""
+    return PASS if ok else FAIL
+
+
+def markdown_table(table):
+    """Render a :class:`~repro.util.records.Table` as GitHub Markdown.
+
+    The title becomes an emphasized caption line above the table; pipe
+    characters inside cells are escaped so they cannot break columns.
+    """
+    if not isinstance(table, Table):
+        raise TypeError(f"expected a records.Table, got {type(table).__name__}")
+
+    def row(cells):
+        return "| " + " | ".join(c.replace("|", "\\|") for c in cells) + " |"
+
+    lines = []
+    if table.title:
+        lines.append(f"*{table.title}*")
+        lines.append("")
+    lines.append(row(table.headers))
+    lines.append("|" + "|".join(" --- " for _ in table.headers) + "|")
+    for cells in table.rows:
+        lines.append(row(cells))
+    return "\n".join(lines)
+
+
+def code_block(text, lang=""):
+    """Fence preformatted text (ASCII charts, raw tables) for Markdown."""
+    return f"```{lang}\n{text.rstrip()}\n```"
+
+
+def heading(level, text):
+    return f"{'#' * level} {text}"
+
+
+def check_table(check_results):
+    """The per-artifact check ledger as a Markdown table."""
+    table = Table(["check", "value", "expectation", "verdict"])
+    for result in check_results:
+        table.add_row(
+            result.metric,
+            result.formatted_value(),
+            result.expectation,
+            verdict(result.passed),
+        )
+    return markdown_table(table)

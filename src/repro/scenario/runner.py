@@ -50,13 +50,7 @@ class ScenarioResult:
             "report": self.report.to_dict() if self.report else None,
         }
         if self.trace is not None:
-            # A JSON-safe digest of the captured trace (the full sample
-            # list stays on the object; use trace.to_csv() to export it).
-            out["trace"] = {
-                "samples": len(self.trace),
-                "peak_temperature_k": self.trace.peak_temperature(),
-                "final_temperature_k": self.trace.final_temperature(),
-            }
+            out["trace"] = self.trace.digest()
         return out
 
     def summary(self):

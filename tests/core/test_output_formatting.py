@@ -1,0 +1,180 @@
+"""Render-path coverage: ThermalTrace CSV/chart output and the
+RunReport / ScenarioResult summaries the report pipeline depends on."""
+
+import math
+
+import pytest
+
+from repro.core.framework import RunReport
+from repro.core.stats import ThermalTrace, TraceSample
+from repro.scenario.runner import ScenarioResult
+
+
+def trace_of(temps, freqs=None, components=("core0", "core1")):
+    freqs = freqs or [500e6] * len(temps)
+    trace = ThermalTrace()
+    for index, (temp, freq) in enumerate(zip(temps, freqs)):
+        trace.append(
+            TraceSample(
+                time_s=0.01 * (index + 1),
+                frequency_hz=freq,
+                total_power_w=1.5,
+                max_temp_k=float(temp),
+                component_temps={c: float(temp) - k for k, c in enumerate(components)},
+            )
+        )
+    return trace
+
+
+# -- ThermalTrace.to_csv -----------------------------------------------------
+
+
+def test_csv_header_sorts_components():
+    csv = trace_of([310.0], components=("zeta", "alpha")).to_csv()
+    assert csv.splitlines()[0] == (
+        "time_s,frequency_hz,total_power_w,max_temp_k,alpha,zeta"
+    )
+
+
+def test_csv_row_formatting():
+    csv = trace_of([310.5]).to_csv()
+    row = csv.splitlines()[1].split(",")
+    assert row[0] == "0.010000"        # time: 6 decimals
+    assert row[1] == "500000000"       # frequency: integral
+    assert row[2] == "1.500000"        # power: 6 decimals
+    assert row[3] == "310.500"         # temperature: 3 decimals
+    assert row[4] == "310.500" and row[5] == "309.500"
+
+
+def test_csv_missing_component_is_nan():
+    trace = trace_of([310.0], components=("core0",))
+    trace.append(
+        TraceSample(
+            time_s=0.02,
+            frequency_hz=500e6,
+            total_power_w=1.5,
+            max_temp_k=311.0,
+            component_temps={},  # this window lost its component reading
+        )
+    )
+    last = trace.to_csv().splitlines()[-1]
+    assert last.endswith("nan")
+
+
+def test_csv_round_trips_row_count():
+    trace = trace_of([300.0, 310.0, 320.0])
+    lines = trace.to_csv().strip().splitlines()
+    assert len(lines) == 1 + len(trace)
+
+
+# -- ThermalTrace.ascii_chart ------------------------------------------------
+
+
+def test_ascii_chart_geometry():
+    chart = trace_of([300.0, 350.0, 325.0]).ascii_chart(width=30, height=8)
+    lines = chart.splitlines()
+    assert len(lines) == 8 + 2  # rows + axis + time labels
+    # Every temperature row is "label |" + exactly `width` columns.
+    for line in lines[:8]:
+        label, _, cells = line.partition("|")
+        assert label.endswith("K ")
+        assert len(cells) == 30
+    assert lines[8].strip().startswith("+")
+
+
+def test_ascii_chart_extremes_hit_first_and_last_rows():
+    chart = trace_of([300.0, 400.0]).ascii_chart(width=10, height=5)
+    lines = chart.splitlines()
+    assert "*" in lines[0]   # the 400 K peak lands on the top row
+    assert "*" in lines[4]   # the 300 K start on the bottom row
+    assert lines[0].startswith("  400.0K")
+    assert lines[4].startswith("  300.0K")
+
+
+def test_ascii_chart_title_and_time_axis():
+    chart = trace_of([300.0, 320.0]).ascii_chart(width=40, height=4, title="demo")
+    lines = chart.splitlines()
+    assert lines[0] == "demo"
+    assert "time (s)" in lines[-1]
+    assert "0.01" in lines[-1] and "0.02" in lines[-1]
+
+
+def test_trace_digest_matches_accessors():
+    trace = trace_of([300.0, 350.0, 340.0])
+    digest = trace.digest()
+    assert digest == {
+        "samples": 3,
+        "peak_temperature_k": 350.0,
+        "final_temperature_k": 340.0,
+    }
+
+
+# -- RunReport.summary -------------------------------------------------------
+
+
+def make_report(**overrides):
+    kwargs = dict(
+        emulated_seconds=4.0,
+        fpga_real_seconds=20.0,
+        windows=400,
+        workload_done=True,
+        peak_temperature_k=384.8,
+        final_temperature_k=380.1,
+        freeze_breakdown={},
+        frequency_transitions=6,
+        dispatcher={},
+    )
+    kwargs.update(overrides)
+    return RunReport(**kwargs)
+
+
+def test_run_report_summary_core_line():
+    text = make_report().summary()
+    assert "emulated 4.00 sec (400 windows, workload done)" in text
+    assert "20.00 sec of board time" in text
+    assert "peak 384.8 K | final 380.1 K | 6 DFS transitions" in text
+
+
+def test_run_report_summary_unfinished_workload():
+    assert "workload unfinished" in make_report(workload_done=False).summary()
+
+
+def test_run_report_summary_optional_lines():
+    bare = make_report().summary()
+    assert "instructions" not in bare
+    assert "clock freezes" not in bare
+
+    text = make_report(
+        instructions=8.5e8,
+        freeze_breakdown={"ethernet": 0.25, "memory": 0.1},
+    ).summary()
+    assert "instructions 8.5e+08" in text
+    # Freeze reasons are sorted and carry their seconds.
+    assert "clock freezes: ethernet 0.25 s, memory 0.1 s" in text
+
+
+def test_run_report_summary_duration_formats():
+    text = make_report(emulated_seconds=125.0, fpga_real_seconds=0.5).summary()
+    assert "2' 05 sec" in text
+    assert "500.00 ms" in text
+
+
+# -- ScenarioResult.summary --------------------------------------------------
+
+
+def test_scenario_result_summary_ok():
+    result = ScenarioResult(
+        name="demo", index=0, report=make_report(), wall_seconds=1.234
+    )
+    text = result.summary()
+    assert text.startswith("demo: emulated 4.00 sec")
+    assert "wall 1.23 s" in text
+
+
+def test_scenario_result_summary_failure():
+    result = ScenarioResult(
+        name="demo", index=0, error="ValueError: unknown floorplan 'missing'"
+    )
+    assert result.summary() == (
+        "demo: FAILED — ValueError: unknown floorplan 'missing'"
+    )

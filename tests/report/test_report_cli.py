@@ -1,0 +1,57 @@
+"""``python -m repro report`` — the reproduction-pipeline subcommand."""
+
+import json
+
+from repro.__main__ import main
+from repro.report.artifacts import ARTIFACTS, Artifact, Check
+
+
+def test_report_list(capsys):
+    assert main(["report", "--list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("table1", "table2", "table3", "fig3", "fig6"):
+        assert name in out
+
+
+def test_report_check_single_artifact(capsys):
+    assert main(["report", "--check", "--artifact", "table1"]) == 0
+    out = capsys.readouterr().out
+    assert "table1: PASS" in out
+
+
+def test_report_unknown_artifact_exits_2(capsys):
+    assert main(["report", "--artifact", "nope"]) == 2
+    assert "unknown artifact" in capsys.readouterr().err
+
+
+def test_report_writes_files(tmp_path, capsys):
+    assert main(
+        ["report", "--artifact", "table2", "--output", str(tmp_path), "--quiet"]
+    ) == 0
+    markdown = (tmp_path / "REPRODUCTION.md").read_text()
+    assert "Table 2" in markdown
+    payload = json.loads((tmp_path / "reproduction.json").read_text())
+    assert payload["ok"] is True
+    assert payload["artifacts"][0]["name"] == "table2"
+
+
+def test_report_check_fails_out_of_tolerance(capsys):
+    """The acceptance gate: a value leaving tolerance exits nonzero."""
+    ARTIFACTS.register(
+        "broken_for_test",
+        lambda: Artifact(
+            name="broken_for_test",
+            title="deliberately out of tolerance",
+            paper_ref="",
+            description="",
+            extract=lambda results: ({"metric": 2.0}, ""),
+            checks=(Check("metric", expected=1.0, rel_tol=0.05),),
+        ),
+    )
+    try:
+        code = main(["report", "--check", "--artifact", "broken_for_test"])
+        out = capsys.readouterr().out
+    finally:
+        ARTIFACTS.unregister("broken_for_test")
+    assert code == 1
+    assert "FAIL metric = 2" in out

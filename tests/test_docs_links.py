@@ -1,0 +1,46 @@
+"""The docs tree must not rot: every relative link resolves, and the
+CI link checker actually catches breakage."""
+
+import importlib.util
+import pathlib
+
+REPO_ROOT = pathlib.Path(__file__).parent.parent
+
+spec = importlib.util.spec_from_file_location(
+    "check_links", REPO_ROOT / "tools" / "check_links.py"
+)
+check_links = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(check_links)
+
+
+def test_docs_tree_exists():
+    for page in (
+        "architecture.md",
+        "reproducing-the-paper.md",
+        "scenarios.md",
+        "solver-backends.md",
+    ):
+        assert (REPO_ROOT / "docs" / page).is_file(), f"docs/{page} missing"
+
+
+def test_all_relative_links_resolve():
+    broken = list(check_links.broken_links(REPO_ROOT))
+    assert not broken, [f"{doc}: {target}" for doc, target in broken]
+
+
+def test_checker_catches_broken_link(tmp_path):
+    (tmp_path / "docs").mkdir()
+    (tmp_path / "README.md").write_text(
+        "see [missing](docs/nope.md) and [ok](docs/ok.md)\n"
+        "```\n[inside a code block](docs/ignored.md)\n```\n"
+        "[anchor only](#section) and [web](https://example.com/x.md)\n"
+    )
+    (tmp_path / "docs" / "ok.md").write_text("fine\n")
+    broken = list(check_links.broken_links(tmp_path))
+    assert [target for _doc, target in broken] == ["docs/nope.md"]
+    assert check_links.main([str(tmp_path)]) == 1
+
+
+def test_checker_passes_clean_tree(tmp_path):
+    (tmp_path / "README.md").write_text("no links here\n")
+    assert check_links.main([str(tmp_path)]) == 0

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Check that every relative Markdown link in the docs tree resolves.
+
+Scans README.md, REPRODUCTION.md and docs/*.md for inline links
+(``[text](target)``), skips absolute URLs and pure in-page anchors, and
+verifies each relative target exists on disk (anchors are stripped
+before the existence check).  Exits nonzero listing every broken link —
+CI runs this as the docs gate.
+
+Usage: python tools/check_links.py [repo-root]
+"""
+
+import pathlib
+import re
+import sys
+
+# Inline Markdown links; images share the syntax with a leading "!".
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def doc_files(root):
+    files = [root / "README.md", root / "REPRODUCTION.md"]
+    files += sorted((root / "docs").glob("*.md"))
+    return [f for f in files if f.is_file()]
+
+
+def broken_links(root):
+    """Yield (file, target) pairs whose relative targets do not resolve."""
+    for doc in doc_files(root):
+        in_code_block = False
+        for line in doc.read_text().splitlines():
+            if line.lstrip().startswith("```"):
+                in_code_block = not in_code_block
+                continue
+            if in_code_block:
+                continue
+            for target in LINK.findall(line):
+                if target.startswith(SKIP_PREFIXES):
+                    continue
+                path = target.split("#", 1)[0]
+                if not path:
+                    continue
+                if not (doc.parent / path).exists():
+                    yield doc, target
+
+
+def main(argv=None):
+    argv = sys.argv[1:] if argv is None else argv
+    root = pathlib.Path(argv[0]) if argv else pathlib.Path(__file__).parent.parent
+    broken = list(broken_links(root))
+    checked = [str(f.relative_to(root)) for f in doc_files(root)]
+    for doc, target in broken:
+        print(f"BROKEN {doc.relative_to(root)}: {target}")
+    print(f"checked {len(checked)} files ({', '.join(checked)}): "
+          f"{len(broken)} broken link(s)")
+    return 1 if broken else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
