@@ -1,0 +1,119 @@
+"""Policy-comparison sweep: closed-loop design-space exploration cost.
+
+The ``policy_comparison`` artifact of the reproduction pipeline races
+every registered thermal-management policy (the paper's four plus the
+exploration family) over one MATRIX-TM-class stress scenario, co-stepped
+through a single multi-RHS thermal solve per window
+(``Runner.run_batched``).  This bench drives the same pipeline directly:
+it regenerates the comparison table, checks the artifact's tolerance
+assertions, times the batched sweep against serial execution, and
+benchmarks one co-stepped policy-fleet window.
+
+``python benchmarks/bench_policy_comparison.py --check`` (CI mode)
+skips the timing and only asserts the artifact checks pass.
+"""
+
+import argparse
+import sys
+import time
+
+from repro.policy import example_params
+from repro.policy.comparison import compare_policies
+from repro.report.artifacts import ARTIFACTS, COMPARED_POLICIES
+from repro.scenario.presets import PRESETS
+from repro.scenario.runner import Runner
+from repro.util.records import Table
+
+
+def _policies():
+    return [
+        {"name": name, "params": example_params(name)}
+        for name in COMPARED_POLICIES
+    ]
+
+
+def _run_artifact():
+    result = ARTIFACTS.get("policy_comparison")().run()
+    assert result.error is None, result.error
+    failed = [c for c in result.checks if not c.passed]
+    assert not failed, [
+        f"{c.metric}={c.formatted_value()} (expected {c.expectation})"
+        for c in failed
+    ]
+    return result
+
+
+def test_policy_comparison_artifact(benchmark, report):
+    result = _run_artifact()
+    report("policy_comparison", result.body)
+
+    # Benchmark one closed-loop window of a single fleet member — the
+    # per-policy marginal cost the batched solve amortizes.
+    framework = PRESETS.get("matrix_tm_dfs")().build()
+    benchmark(framework.step_window)
+
+
+def test_batched_sweep_beats_serial(benchmark, report):
+    """The batched path shares one factorization across the fleet, so
+    the whole comparison must not cost much more than one serial run."""
+    base = PRESETS.get("matrix_tm_unmanaged")()
+    base.max_emulated_seconds = 10.0
+    policies = _policies()
+
+    start = time.perf_counter()
+    serial = compare_policies(base, policies, batched=False)
+    serial_wall = time.perf_counter() - start
+    assert not serial.errors, serial.errors
+
+    start = time.perf_counter()
+    batched = compare_policies(base, policies, batched=True)
+    batched_wall = time.perf_counter() - start
+    assert not batched.errors, batched.errors
+
+    table = Table(
+        ["path", "wall (s)", "policies", "windows total"],
+        title="Policy comparison: serial Runner.run vs batched co-stepping",
+    )
+    windows = {
+        "serial": sum(
+            int(o.emulated_seconds / base.config.sampling_period_s)
+            for o in serial.outcomes
+        ),
+        "batched": sum(
+            int(o.emulated_seconds / base.config.sampling_period_s)
+            for o in batched.outcomes
+        ),
+    }
+    table.add_row("serial", f"{serial_wall:.3f}", len(policies),
+                  windows["serial"])
+    table.add_row("batched", f"{batched_wall:.3f}", len(policies),
+                  windows["batched"])
+    report("policy_comparison_batched_vs_serial", str(table))
+    for a, b in zip(serial.outcomes, batched.outcomes):
+        assert abs(a.peak_temperature_k - b.peak_temperature_k) < 1.0
+
+    # Benchmark the full batched sweep itself (the design-space unit).
+    benchmark(compare_policies, base, policies, batched=True)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check", action="store_true",
+        help="only assert the policy_comparison artifact checks (CI mode)",
+    )
+    args = parser.parse_args(argv)
+    result = _run_artifact()
+    if args.check:
+        print(
+            f"policy_comparison: {len(result.checks)} checks passed, "
+            f"{int(result.values['policies_compared'])} policies compared "
+            f"in {result.wall_seconds:.1f} s"
+        )
+        return 0
+    print(result.body)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

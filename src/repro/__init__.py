@@ -74,6 +74,18 @@ from repro.mpsoc import (
     generate_mesh,
 )
 from repro.mpsoc.platform import CoreConfig
+from repro.policy import (
+    DvfsLadderPolicy,
+    PerDomainPolicy,
+    PidFrequencyPolicy,
+    PredictiveThrottlePolicy,
+    ThermalPolicy,
+)
+from repro.policy.comparison import (
+    PolicyComparison,
+    PolicyOutcome,
+    compare_policies,
+)
 from repro.power import DEFAULT_LIBRARY, PowerClass, PowerLibrary, PowerModel
 from repro.thermal import (
     Floorplan,
@@ -114,6 +126,7 @@ __all__ = [
     "DEFAULT_LIBRARY",
     "DirectWorkload",
     "DualThresholdDfsPolicy",
+    "DvfsLadderPolicy",
     "EmulationFlow",
     "EmulationFramework",
     "ExperimentSuite",
@@ -125,7 +138,12 @@ __all__ = [
     "NoManagementPolicy",
     "NocConfig",
     "PerCoreDfsPolicy",
+    "PerDomainPolicy",
+    "PidFrequencyPolicy",
+    "PolicyComparison",
+    "PolicyOutcome",
     "PolicySpec",
+    "PredictiveThrottlePolicy",
     "PowerClass",
     "PowerLibrary",
     "PowerModel",
@@ -139,6 +157,7 @@ __all__ = [
     "SnifferBank",
     "StopGoPolicy",
     "SynthesisModel",
+    "ThermalPolicy",
     "ThermalProperties",
     "ThermalSolver",
     "ThermalTrace",
@@ -148,6 +167,7 @@ __all__ = [
     "assemble",
     "build_grid",
     "build_platform",
+    "compare_policies",
     "dithering_programs",
     "floorplan_4xarm7",
     "floorplan_4xarm11",

@@ -8,12 +8,15 @@ Usage::
     python -m repro --list-backends
     python -m repro matrix_quickstart --dump > scenario.json
     python -m repro report [--artifact NAME] [--check]
+    python -m repro policies [--verbose] [--json]
 
 A spec file holds either one scenario (``Scenario.to_dict()`` form) or a
 suite (``{"name": ..., "scenarios": [...]}``); every run prints the
 report summary, and ``--json`` emits the full serialized results.  The
 ``report`` subcommand runs the paper-reproduction pipeline
-(:mod:`repro.report`): all five paper artifacts, one ``REPRODUCTION.md``.
+(:mod:`repro.report`): all registered artifacts, one ``REPRODUCTION.md``.
+The ``policies`` subcommand lists the registered thermal-management
+policies (:mod:`repro.policy`) with their parameters.
 """
 
 import argparse
@@ -43,6 +46,46 @@ def _load_scenarios(spec):
     )
 
 
+def _policies_main(argv):
+    """``python -m repro policies`` — list registered thermal policies."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro policies",
+        description="List the registered thermal-management policies "
+        "(repro.policy) a PolicySpec can name.",
+    )
+    parser.add_argument(
+        "--verbose", "-v", action="store_true",
+        help="also show each policy's parameters and example spec params",
+    )
+    parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the listing as JSON",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.policy import EXAMPLE_PARAMS, describe_policies
+    from repro.scenario.registry import POLICIES
+
+    rows = describe_policies(POLICIES)
+    if args.as_json:
+        print(json.dumps({
+            name: {
+                "summary": summary,
+                "parameters": parameters,
+                "example_params": EXAMPLE_PARAMS.get(name),
+            }
+            for name, parameters, summary in rows
+        }, indent=2))
+        return 0
+    for name, parameters, summary in rows:
+        print(f"{name:16s} {summary}")
+        if args.verbose:
+            print(f"{'':16s}   params: {parameters or '(none)'}")
+            if name in EXAMPLE_PARAMS:
+                print(f"{'':16s}   example: {json.dumps(EXAMPLE_PARAMS[name])}")
+    return 0
+
+
 def main(argv=None):
     argv = sys.argv[1:] if argv is None else list(argv)
     if argv and argv[0] == "report":
@@ -50,6 +93,8 @@ def main(argv=None):
         from repro.report.cli import main as report_main
 
         return report_main(argv[1:])
+    if argv and argv[0] == "policies":
+        return _policies_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro",

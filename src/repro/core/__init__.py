@@ -23,6 +23,7 @@ from repro.core.thermal_manager import (
     NoManagementPolicy,
     PerCoreDfsPolicy,
     StopGoPolicy,
+    ThermalPolicy,
 )
 from repro.core.vpcm import Vpcm
 from repro.core.workload_model import (
@@ -51,6 +52,7 @@ __all__ = [
     "StatisticsFrame",
     "StopGoPolicy",
     "SynthesisModel",
+    "ThermalPolicy",
     "ThermalTrace",
     "TraceSample",
     "Vpcm",

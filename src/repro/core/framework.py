@@ -14,7 +14,7 @@ from dataclasses import asdict, dataclass, field
 from repro.core.dispatcher import BramBuffer, EthernetDispatcher
 from repro.core.sniffers import SnifferBank
 from repro.core.stats import ThermalTrace, TraceSample
-from repro.core.thermal_manager import NoManagementPolicy
+from repro.policy.builtin import NoManagementPolicy
 from repro.core.vpcm import FREEZE_ETHERNET, Vpcm
 from repro.core.workload_model import DirectWorkload
 from repro.emulation.ethernet import EthernetLink
@@ -71,6 +71,12 @@ class FrameworkConfig:
             raise ValueError("Ethernet bandwidth must be positive")
         if self.monitored_components is not None:
             self.monitored_components = tuple(self.monitored_components)
+            if not self.monitored_components:
+                raise ValueError(
+                    "monitored_components must name at least one component "
+                    "(pass None to monitor every active component); an "
+                    "empty sensor set would leave the closed loop blind"
+                )
         self.die_resolution = tuple(self.die_resolution)
         self.spreader_resolution = tuple(self.spreader_resolution)
         for label, resolution in (
@@ -135,6 +141,7 @@ class RunReport:
     frequency_transitions: int
     dispatcher: dict
     instructions: float = 0.0
+    stalled: bool = False  # ended in a zero-progress streak with work left
     extras: dict = field(default_factory=dict)
 
     def to_dict(self):
@@ -150,6 +157,8 @@ class RunReport:
         from repro.util.records import format_duration
 
         status = "done" if self.workload_done else "unfinished"
+        if self.stalled:
+            status += ", STALLED"
         lines = [
             f"emulated {format_duration(self.emulated_seconds)} "
             f"({self.windows} windows, workload {status}) in "
@@ -231,9 +240,25 @@ class EmulationFramework:
             backend=cfg.solver_backend,
         )
 
+        active_names = {c.name for c in floorplan.active_components()}
         monitored = cfg.monitored_components
         if monitored is None:
             monitored = [c.name for c in floorplan.active_components()]
+        if not monitored:
+            # Launch-time twin of the config-time empty-tuple check: a
+            # floorplan of pure filler has nothing to monitor and the
+            # closed loop (max over component temperatures) needs >= 1.
+            raise ValueError(
+                f"floorplan {floorplan.name!r} has no active components to "
+                f"monitor; the co-emulation loop needs at least one "
+                f"temperature-monitored component"
+            )
+        unknown = sorted(set(monitored) - active_names)
+        if unknown:
+            raise ValueError(
+                f"monitored_components {', '.join(unknown)} not in floorplan "
+                f"{floorplan.name!r} (active: {', '.join(sorted(active_names))})"
+            )
         self.sensors = SensorBank(
             monitored,
             upper_kelvin=cfg.sensor_upper_kelvin,
@@ -247,6 +272,15 @@ class EmulationFramework:
         self.workload = workload
         self.trace = ThermalTrace()
         self.windows = 0
+        self.stall_windows = 0  # consecutive zero-progress windows
+        self._stall_bound_hit = False  # a bounds check tripped on stalling
+        # Launch-time policy validation: a policy naming components with
+        # no sensor (or needing floorplan defaults) finds out now, not
+        # silently mid-run.  getattr keeps duck-typed legacy policies
+        # without the bind hook working.
+        bind = getattr(self.policy, "bind", None)
+        if bind is not None:
+            bind(self)
 
     # -- the closed loop ---------------------------------------------------------
     def step_window(self):
@@ -277,6 +311,16 @@ class EmulationFramework:
             # progress even though the fabric keeps the global clock.
             mean_hz = sum(core_frequencies.values()) / len(core_frequencies)
             progress_cycles = int(window_cycles * min(1.0, mean_hz / frequency))
+        if progress_cycles <= 0 and not self.workload.done:
+            # Zero-progress window: the virtual clock is gated (or so low
+            # that ``Vpcm.window_cycles`` rounds to zero cycles) while
+            # work remains.  Emulated time still advances, so only the
+            # consecutive count distinguishes a cooling pause from a
+            # never-ending stall.
+            self.stall_windows += 1
+        else:
+            self.stall_windows = 0
+            self._stall_bound_hit = False
         activity = self.workload.advance(progress_cycles)
 
         # 2. Activity -> power (per floorplan component).
@@ -323,7 +367,26 @@ class EmulationFramework:
         self.windows += 1
         return sample
 
-    def bounds_reached(self, max_emulated_seconds=None, max_windows=None):
+    @property
+    def stalled(self):
+        """True when the run tripped its stall bound with work left.
+
+        A workload can stop advancing while emulated time still flows: a
+        ``stop_go`` policy gates the clock to 0 Hz, or a DFS operating
+        point so low that :meth:`repro.core.vpcm.Vpcm.window_cycles`
+        rounds a whole sampling window to zero cycles.  ``workload.done``
+        never fires then, so an unbounded :meth:`run` would spin forever
+        — the ``max_stall_windows`` bound stops it and this flag records
+        the diagnosis.  A run truncated by an ordinary time/window bound
+        during a normal clock-gated cooling pause is *not* stalled (the
+        raw streak length stays observable as ``stall_windows``); the
+        flag clears again if the bound is raised and progress resumes.
+        """
+        return self._stall_bound_hit and not self.workload.done
+
+    def bounds_reached(
+        self, max_emulated_seconds=None, max_windows=None, max_stall_windows=None
+    ):
         """True when the workload is done or a run bound has been hit."""
         if self.workload.done:
             return True
@@ -332,16 +395,32 @@ class EmulationFramework:
             and self.vpcm.emulated_seconds >= max_emulated_seconds - 1e-12
         ):
             return True
+        if max_stall_windows is not None and self.stall_windows >= max_stall_windows:
+            self._stall_bound_hit = True
+            return True
         return max_windows is not None and self.windows >= max_windows
 
-    def run(self, max_emulated_seconds=None, max_windows=None):
-        """Run until the workload completes (or a bound is hit)."""
-        while not self.bounds_reached(max_emulated_seconds, max_windows):
+    def run(self, max_emulated_seconds=None, max_windows=None,
+            max_stall_windows=None):
+        """Run until the workload completes (or a bound is hit).
+
+        ``max_stall_windows`` bounds *consecutive zero-progress windows*:
+        a run whose virtual clock is gated (or rounds to zero cycles per
+        window) under a never-cooling policy stops after that many stalled
+        windows instead of spinning forever, and the returned report
+        carries ``stalled=True``.
+        """
+        while not self.bounds_reached(
+            max_emulated_seconds, max_windows, max_stall_windows
+        ):
             self.step_window()
         return self.report()
 
     def report(self):
         extras = {"thermal_cells": self.network.num_cells}
+        policy_report = getattr(self.policy, "report", None)
+        if policy_report is not None:
+            extras["policy"] = policy_report()
         if self.platform is not None:
             extras["interconnect"] = _string_keyed(self.platform.interconnect.stats())
             # The platform finish cycle: idle alignment at window
@@ -362,5 +441,6 @@ class EmulationFramework:
             frequency_transitions=len(self.vpcm.transitions),
             dispatcher=self.dispatcher.stats(),
             instructions=getattr(self.workload, "instructions", 0.0),
+            stalled=self.stalled,
             extras=extras,
         )

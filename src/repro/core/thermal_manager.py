@@ -1,122 +1,24 @@
-"""Run-time thermal-management policies (Section 7).
+"""Back-compat shim — thermal policies moved to :mod:`repro.policy`.
 
-The paper implements "a simple dual-state machine that monitors at
-run-time if the temperature of each MPSoC component increases/decreases
-above/below two certain thresholds (350 or 340 degrees Kelvin)"; the
-sensors inform the VPCM, which performs dynamic frequency scaling
-choosing 500 or 100 MHz accordingly.  That policy is
-:class:`DualThresholdDfsPolicy`.  The other policies are the natural
-extensions the paper motivates ("the potential benefits of HW/SW
-emulation to explore the design space of complex thermal management
-policies"): stop-go clock gating and per-core DFS.
+The four original Section 7 policies started life here as a 122-line
+module; they are now the seed of the first-class policy subsystem
+(:mod:`repro.policy`: protocol, builtins, exploration policies and the
+comparison pipeline).  This module keeps the historical import path
+``repro.core.thermal_manager`` working.
 """
 
-from repro.util.units import MHZ
+from repro.policy.base import ThermalPolicy
+from repro.policy.builtin import (
+    DualThresholdDfsPolicy,
+    NoManagementPolicy,
+    PerCoreDfsPolicy,
+    StopGoPolicy,
+)
 
-
-class ThermalPolicy:
-    """Base class: reacts to sensor state by actuating the VPCM."""
-
-    name = "base"
-
-    def react(self, sensor_bank, vpcm, time_s):
-        """Inspect sensors and (possibly) act; returns the chosen
-        system frequency in Hz."""
-        raise NotImplementedError
-
-    def core_frequencies(self):
-        """Per-core frequency overrides, or None for global clocking."""
-        return None
-
-
-class NoManagementPolicy(ThermalPolicy):
-    """The un-managed baseline of Figure 6: clocks never change."""
-
-    name = "none"
-
-    def react(self, sensor_bank, vpcm, time_s):
-        return vpcm.virtual_hz
-
-
-class DualThresholdDfsPolicy(ThermalPolicy):
-    """The paper's policy: any component hot -> low clock; all cool -> high.
-
-    Sensor hysteresis (latched between the two thresholds) lives in
-    :class:`repro.thermal.sensors.TemperatureSensor`; this state machine
-    only maps "any sensor hot" onto the two DFS operating points.
-    """
-
-    name = "dual-threshold-dfs"
-
-    def __init__(self, high_hz=500 * MHZ, low_hz=100 * MHZ):
-        if low_hz >= high_hz:
-            raise ValueError("low frequency must be below high frequency")
-        self.high_hz = high_hz
-        self.low_hz = low_hz
-        self.switches = 0
-
-    def react(self, sensor_bank, vpcm, time_s):
-        target = self.low_hz if sensor_bank.any_hot else self.high_hz
-        if target != vpcm.virtual_hz:
-            vpcm.set_frequency(target, time_s, reason=self.name)
-            self.switches += 1
-        return target
-
-
-class StopGoPolicy(ThermalPolicy):
-    """Clock gating instead of scaling: hot -> clocks stopped entirely.
-
-    The VPCM's ability to transparently stop/resume the virtual clock of
-    all components (Section 4.2) makes this a one-line policy.
-    """
-
-    name = "stop-go"
-
-    def __init__(self, run_hz=500 * MHZ):
-        self.run_hz = run_hz
-        self.switches = 0
-
-    def react(self, sensor_bank, vpcm, time_s):
-        target = 0.0 if sensor_bank.any_hot else self.run_hz
-        if target != vpcm.virtual_hz:
-            vpcm.set_frequency(target, time_s, reason=self.name)
-            self.switches += 1
-        return target
-
-
-class PerCoreDfsPolicy(ThermalPolicy):
-    """Per-core DFS: only the cores whose own sensor latched hot slow down.
-
-    The platform's single system clock domain still runs at the high
-    frequency; the per-core overrides reach the power model through
-    :meth:`core_frequencies` (and, in profiled runs, scale each core's
-    activity contribution).  Sensors must be named after the floorplan
-    core components (e.g. ``arm11_0``).
-    """
-
-    name = "per-core-dfs"
-
-    def __init__(self, core_components, high_hz=500 * MHZ, low_hz=100 * MHZ):
-        if low_hz >= high_hz:
-            raise ValueError("low frequency must be below high frequency")
-        self.high_hz = high_hz
-        self.low_hz = low_hz
-        # component name -> core index
-        self.core_components = dict(core_components)
-        self._frequencies = {i: high_hz for i in self.core_components.values()}
-        self.switches = 0
-
-    def react(self, sensor_bank, vpcm, time_s):
-        for component, core_index in self.core_components.items():
-            sensor = sensor_bank.sensors.get(component)
-            if sensor is None:
-                continue
-            target = self.low_hz if sensor.hot else self.high_hz
-            if self._frequencies[core_index] != target:
-                self._frequencies[core_index] = target
-                self.switches += 1
-        # The shared fabric keeps the high clock under this policy.
-        return vpcm.virtual_hz
-
-    def core_frequencies(self):
-        return dict(self._frequencies)
+__all__ = [
+    "DualThresholdDfsPolicy",
+    "NoManagementPolicy",
+    "PerCoreDfsPolicy",
+    "StopGoPolicy",
+    "ThermalPolicy",
+]

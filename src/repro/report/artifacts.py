@@ -30,6 +30,8 @@ from repro.mpsoc.bus import BusConfig
 from repro.mpsoc.cache import CacheConfig
 from repro.mpsoc.noc import generate_custom
 from repro.mpsoc.platform import CoreConfig, MPSoCConfig
+from repro.policy import example_params
+from repro.policy.comparison import comparison_scenarios, outcomes_from_results
 from repro.power.library import DEFAULT_LIBRARY
 from repro.power.models import PowerModel
 from repro.report.render import code_block, markdown_table
@@ -662,10 +664,140 @@ def fig3_artifact(resolutions=((6, 6), (12, 12), (18, 18)), max_windows=100):
     )
 
 
-# -- Figure 6: thermal runtime with/without DFS ---------------------------------
-
+# The Section 7 sensor thresholds, shared by the Figure 6 artifact and
+# the policy comparison.
 UPPER_K = 350.0
 LOWER_K = 340.0
+
+
+# -- Policy comparison: the Figure 6 family as design-space exploration ---------
+
+#: The registry policies the comparison races (with their example params
+#: for the 4xarm11 experiment floorplan): the paper's four plus the
+#: exploration family.  ``none`` anchors the throughput-loss column.
+COMPARED_POLICIES = (
+    "none",
+    "dual_threshold",
+    "stop_go",
+    "per_core",
+    "dvfs_ladder",
+    "pid",
+    "predictive",
+    "per_domain",
+)
+
+
+def _policy_comparison_scenarios():
+    base = PRESETS.get("matrix_tm_unmanaged")()
+    base.name = "policy_comparison"
+    policies = [
+        {"name": name, "params": example_params(name)}
+        for name in COMPARED_POLICIES
+    ]
+    _, scenarios = comparison_scenarios(base, policies)
+    return tuple(scenarios)
+
+
+def _policy_stats_cell(stats):
+    """Compact ``k=v`` rendering of the scalar per-policy statistics."""
+    parts = []
+    for key, value in stats.items():
+        if key == "name" or isinstance(value, (dict, list)):
+            continue
+        parts.append(f"{key}={value:g}" if isinstance(value, float) else f"{key}={value}")
+    return ", ".join(parts) or "—"
+
+
+def _policy_comparison_extract(results):
+    comparison = outcomes_from_results(
+        results, threshold_kelvin=UPPER_K, base="policy_comparison"
+    )
+    if comparison.errors:
+        name, error = next(iter(comparison.errors.items()))
+        raise RuntimeError(f"policy {name!r} failed: {error}")
+    table = Table(
+        ["policy", "peak K", "final K", f"time > {UPPER_K:.0f} K",
+         "emulated", "throughput loss", "DFS transitions", "policy stats"],
+        title="Closed-loop policy comparison on the MATRIX-TM-class "
+        "stress (Figure 6 generalized; all variants co-stepped through "
+        "one multi-RHS solve via Runner.run_batched)",
+    )
+    values = {}
+    managed_peaks, losses = [], []
+    for outcome in comparison.outcomes:
+        table.add_row(
+            outcome.policy,
+            f"{outcome.peak_temperature_k:.1f}",
+            f"{outcome.final_temperature_k:.1f}",
+            f"{outcome.time_above_threshold_s:.2f} s",
+            format_duration(outcome.emulated_seconds),
+            f"{outcome.throughput_loss:.0%}",
+            outcome.frequency_transitions,
+            _policy_stats_cell(outcome.stats),
+        )
+        values[f"peak_k_{outcome.policy}"] = outcome.peak_temperature_k
+        values[f"time_above_s_{outcome.policy}"] = outcome.time_above_threshold_s
+        values[f"throughput_loss_{outcome.policy}"] = outcome.throughput_loss
+        if outcome.policy == "none":
+            continue
+        managed_peaks.append(outcome.peak_temperature_k)
+        losses.append(outcome.throughput_loss)
+    unmanaged = comparison.outcome("none")
+    values["policies_compared"] = float(len(comparison.outcomes))
+    values["unmanaged_peak_k"] = unmanaged.peak_temperature_k
+    values["managed_peak_max_k"] = max(managed_peaks)
+    values["peak_reduction_k"] = unmanaged.peak_temperature_k - max(managed_peaks)
+    values["min_managed_throughput_loss"] = min(losses)
+    values["all_done"] = float(
+        all(o.workload_done for o in comparison.outcomes)
+    )
+    values["stalled_runs"] = float(
+        sum(1 for o in comparison.outcomes if o.stalled)
+    )
+    note = (
+        "Every management policy trades throughput for temperature: the "
+        "unmanaged baseline overheats toward steady state while each "
+        "managed variant holds the die near the "
+        f"{LOWER_K:.0f}–{UPPER_K:.0f} K band and pays for it in emulated "
+        "run time — the Figure 6 trade-off, explored across "
+        f"{len(comparison.outcomes)} policies in one batched sweep.  "
+        "Per-policy statistics come from each policy's report() hook."
+    )
+    return values, f"{markdown_table(table)}\n\n{note}"
+
+
+@ARTIFACTS.register("policy_comparison")
+def policy_comparison_artifact():
+    return Artifact(
+        name="policy_comparison",
+        title="Policy comparison — thermal management design space",
+        paper_ref="Section 7 / Figure 6 (generalized)",
+        description="Races every registered thermal-management policy "
+        "(the paper's four plus the exploration family) over one "
+        "MATRIX-TM-class stress scenario through the batched sweep "
+        "pipeline, and checks the closed-loop trade-off the paper "
+        "demonstrates for DFS.",
+        extract=_policy_comparison_extract,
+        scenarios=_policy_comparison_scenarios(),
+        batched=True,
+        capture_trace=True,
+        checks=(
+            Check("policies_compared", low=6.0,
+                  note="four ported built-ins plus the exploration family"),
+            Check("unmanaged_peak_k", low=360.0,
+                  note="the baseline sails past the 350 K threshold"),
+            Check("managed_peak_max_k", high=358.0,
+                  note="every managed policy caps the excursion"),
+            Check("peak_reduction_k", low=10.0),
+            Check("min_managed_throughput_loss", low=0.05,
+                  note="thermal headroom is paid for in throughput"),
+            Check("all_done", expected=1.0),
+            Check("stalled_runs", expected=0.0),
+        ),
+    )
+
+
+# -- Figure 6: thermal runtime with/without DFS ---------------------------------
 
 
 def _fig6_extract(results):

@@ -22,13 +22,8 @@ a spawn start method only the built-ins below survive, so long-lived
 custom generators belong in an importable module.
 """
 
-from repro.core.thermal_manager import (
-    DualThresholdDfsPolicy,
-    NoManagementPolicy,
-    PerCoreDfsPolicy,
-    StopGoPolicy,
-)
 from repro.core.workload_model import ActivityProfile, ProfiledWorkload
+from repro.policy import BUILTIN_POLICIES
 from repro.thermal.backends import SOLVER_BACKENDS
 from repro.thermal.floorplan import BUILTIN_FLOORPLANS
 from repro.util.registry import Registry
@@ -56,14 +51,8 @@ WORKLOADS = Registry("workload generator")
 for _name, _factory in BUILTIN_FLOORPLANS.items():
     FLOORPLANS.register(_name, _factory)
 
-POLICIES.register("none", lambda: NoManagementPolicy())
-POLICIES.register("dual_threshold", DualThresholdDfsPolicy)
-POLICIES.register("stop_go", StopGoPolicy)
-
-
-@POLICIES.register("per_core")
-def _per_core_policy(core_components, **kwargs):
-    return PerCoreDfsPolicy(dict(core_components), **kwargs)
+for _name, _factory in BUILTIN_POLICIES.items():
+    POLICIES.register(_name, _factory)
 
 
 def _require_platform(name, platform):

@@ -41,6 +41,14 @@ class ScenarioResult:
     def ok(self):
         return self.error is None
 
+    @property
+    def policy_stats(self):
+        """Per-policy statistics the run's policy exported via
+        ``report()`` (``RunReport.extras["policy"]``), or ``{}``."""
+        if self.report is None:
+            return {}
+        return dict(self.report.extras.get("policy", {}))
+
     def to_dict(self):
         out = {
             "name": self.name,
@@ -210,7 +218,11 @@ class Runner:
         """
         frameworks = [framework for _, _, framework in group]
         bounds = [
-            (scenario.max_emulated_seconds, scenario.max_windows)
+            (
+                scenario.max_emulated_seconds,
+                scenario.max_windows,
+                scenario.max_stall_windows,
+            )
             for _, scenario, _ in group
         ]
         backend = BatchedLU().bind(frameworks[0].network)

@@ -76,6 +76,7 @@ class Scenario:
     config: FrameworkConfig = field(default_factory=FrameworkConfig)
     max_emulated_seconds: float | None = None
     max_windows: int | None = None
+    max_stall_windows: int | None = None  # bound consecutive zero-progress
     description: str = ""
 
     def __post_init__(self):
@@ -101,6 +102,7 @@ class Scenario:
             "config": self.config.to_dict(),
             "max_emulated_seconds": self.max_emulated_seconds,
             "max_windows": self.max_windows,
+            "max_stall_windows": self.max_stall_windows,
         }
 
     @classmethod
@@ -144,5 +146,6 @@ class Scenario:
         report = framework.run(
             max_emulated_seconds=self.max_emulated_seconds,
             max_windows=self.max_windows,
+            max_stall_windows=self.max_stall_windows,
         )
         return framework, report

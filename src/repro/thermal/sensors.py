@@ -5,7 +5,7 @@ component; the SW thermal tool writes the freshly computed temperatures
 back over Ethernet, and each sensor raises/clears a signal to the VPCM
 when its component crosses the configured thresholds.  The dual-threshold
 hysteresis (350 K upper / 340 K lower in the paper's experiment) lives
-here; the DFS reaction lives in :mod:`repro.core.thermal_manager`.
+here; the DFS reaction lives in the policies of :mod:`repro.policy`.
 """
 
 from dataclasses import dataclass, field

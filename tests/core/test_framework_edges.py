@@ -63,6 +63,42 @@ def test_config_rejects_nonpositive_ethernet_bandwidth():
         FrameworkConfig(ethernet_bandwidth_bps=-1.0)
 
 
+def test_config_rejects_empty_monitored_components():
+    # Regression: an explicitly empty monitored set used to build a
+    # sensorless framework whose first window crashed on
+    # max(temps.values()) with a bare ValueError.
+    with pytest.raises(ValueError, match="at least one component"):
+        FrameworkConfig(monitored_components=())
+    with pytest.raises(ValueError, match="at least one component"):
+        FrameworkConfig(monitored_components=[])
+
+
+def test_launch_rejects_floorplan_with_no_active_components():
+    from repro.thermal.floorplan import Floorplan, FloorplanComponent
+
+    filler_only = Floorplan(
+        name="empty",
+        width=1e-3,
+        height=1e-3,
+        components=[
+            FloorplanComponent(name="fill0", x=0.0, y=0.0,
+                               width=1e-3, height=1e-3)
+        ],
+    )
+    with pytest.raises(ValueError, match="no active components to monitor"):
+        EmulationFramework(
+            platform=None,
+            floorplan=filler_only,
+            workload=ProfiledWorkload(profile(), total_iterations=10**6),
+            config=FrameworkConfig(spreader_resolution=(2, 2)),
+        )
+
+
+def test_launch_rejects_unknown_monitored_names():
+    with pytest.raises(ValueError, match="arm11_9"):
+        make_framework(monitored_components=("arm11_0", "arm11_9"))
+
+
 def test_config_rejects_nonpositive_physical_frequency():
     with pytest.raises(ValueError, match="physical board frequency"):
         FrameworkConfig(physical_hz=0.0)
@@ -189,3 +225,77 @@ def test_board_time_tracks_stretch():
     assert report.fpga_real_seconds == pytest.approx(
         5 * report.emulated_seconds, rel=1e-6
     )
+
+
+# -- zero-progress stall detection -------------------------------------------
+
+
+def stalled_framework(virtual_hz=10.0):
+    """A framework whose 10 ms windows round to zero virtual cycles."""
+    return EmulationFramework(
+        platform=None,
+        floorplan=floorplan_4xarm11(),
+        workload=ProfiledWorkload(profile(), total_iterations=10**8),
+        policy=NoManagementPolicy(),
+        config=FrameworkConfig(
+            virtual_hz=virtual_hz, spreader_resolution=(2, 2)
+        ),
+    )
+
+
+def test_low_frequency_run_stalls_instead_of_spinning():
+    # Regression: Vpcm.window_cycles rounds a 10 ms window at a very low
+    # DFS operating point to 0 cycles, so the workload never progresses
+    # while bounds_reached only consulted workload.done — an unbounded
+    # run() under a never-cooling low-frequency policy spun forever.
+    framework = stalled_framework()
+    assert framework.vpcm.window_cycles(0.01) == 0
+    report = framework.run(max_stall_windows=5)
+    assert framework.windows == 5
+    assert framework.stall_windows == 5
+    assert report.stalled
+    assert not report.workload_done
+    assert "STALLED" in report.summary()
+    # Emulated time still advanced — only *progress* stalled.
+    assert report.emulated_seconds == pytest.approx(0.05)
+
+
+def test_stall_counter_resets_when_progress_resumes():
+    framework = stalled_framework()
+    framework.run(max_stall_windows=3)
+    assert framework.stall_windows == 3
+    framework.vpcm.set_frequency(500 * MHZ, reason="test")
+    framework.run(max_windows=5)
+    assert framework.stall_windows == 0
+    assert not framework.stalled
+    assert not framework.report().stalled
+
+
+def test_progressing_run_never_reports_stalled():
+    framework = make_framework()
+    report = framework.run(max_windows=10, max_stall_windows=2)
+    assert framework.stall_windows == 0
+    assert not report.stalled
+
+
+def test_stalled_flag_round_trips_run_report():
+    import json
+
+    from repro.core.framework import RunReport
+
+    framework = stalled_framework()
+    report = framework.run(max_stall_windows=2)
+    rebuilt = RunReport.from_dict(json.loads(json.dumps(report.to_dict())))
+    assert rebuilt.stalled
+
+
+def test_truncated_run_in_gated_pause_is_not_stalled():
+    # A zero-progress streak cut off by an ordinary time/window bound is
+    # a normal clock-gated cooling pause, not a stall: only tripping the
+    # explicit stall bound sets the flag (the raw streak length stays
+    # observable as stall_windows).
+    framework = stalled_framework()
+    report = framework.run(max_windows=5)
+    assert framework.stall_windows == 5
+    assert not report.stalled
+    assert "STALLED" not in report.summary()

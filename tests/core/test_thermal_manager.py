@@ -91,6 +91,38 @@ def test_per_core_policy_ignores_unknown_sensors():
     assert policy.core_frequencies()[0] == policy.high_hz
 
 
+def test_per_core_policy_bind_fails_fast_on_missing_sensors():
+    # Regression: a typo'd core_components map used to silently
+    # `continue` in react(), running the platform effectively unmanaged.
+    # Binding against the framework's sensor bank must list every
+    # missing name instead.
+    from repro.core.framework import EmulationFramework, FrameworkConfig
+    from repro.core.workload_model import ActivityProfile, ProfiledWorkload
+    from repro.thermal.floorplan import floorplan_4xarm11
+
+    policy = PerCoreDfsPolicy({"arm11_0": 0, "arm99_1": 1, "ghost": 2})
+    with pytest.raises(ValueError) as excinfo:
+        EmulationFramework(
+            platform=None,
+            floorplan=floorplan_4xarm11(),
+            workload=ProfiledWorkload(
+                ActivityProfile(
+                    name="p",
+                    cycles_per_iteration=1000,
+                    utilization={("core", 0): 0.9},
+                ),
+                total_iterations=10**6,
+            ),
+            policy=policy,
+            config=FrameworkConfig(
+                virtual_hz=500 * MHZ, spreader_resolution=(2, 2)
+            ),
+        )
+    message = str(excinfo.value)
+    assert "arm99_1" in message and "ghost" in message
+    assert "arm11_0" not in message.split("monitored")[0]
+
+
 def test_per_core_policy_validates():
     with pytest.raises(ValueError):
         PerCoreDfsPolicy({}, high_hz=1.0, low_hz=2.0)

@@ -1,0 +1,234 @@
+"""Unit tests of the exploration policies (ladder, PID, predictive,
+per-domain) against hand-driven sensor banks and a real closed loop."""
+
+import pytest
+
+from repro.core.framework import EmulationFramework, FrameworkConfig
+from repro.core.workload_model import ActivityProfile, ProfiledWorkload
+from repro.core.vpcm import Vpcm
+from repro.thermal.floorplan import floorplan_4xarm11
+from repro.policy.exploration import (
+    DvfsLadderPolicy,
+    PerDomainPolicy,
+    PidFrequencyPolicy,
+    PredictiveThrottlePolicy,
+)
+from repro.thermal.sensors import SensorBank
+from repro.util.units import MHZ
+
+
+def make_bank(**temps):
+    bank = SensorBank(list(temps), upper_kelvin=350.0, lower_kelvin=340.0)
+    bank.update(temps, time=0.0)
+    return bank
+
+
+# -- DVFS ladder -------------------------------------------------------------
+
+
+def test_ladder_walks_one_level_per_window():
+    vpcm = Vpcm(virtual_hz=500 * MHZ)
+    policy = DvfsLadderPolicy(
+        levels_hz=[500 * MHZ, 300 * MHZ, 100 * MHZ],
+        step_down_kelvin=350.0,
+        step_up_kelvin=340.0,
+    )
+    bank = make_bank(core0=355.0)
+    assert policy.react(bank, vpcm, 0.01) == 300 * MHZ  # one step, not two
+    assert policy.react(bank, vpcm, 0.02) == 100 * MHZ
+    assert policy.react(bank, vpcm, 0.03) == 100 * MHZ  # clamped at bottom
+    bank.update({"core0": 335.0}, 0.04)
+    assert policy.react(bank, vpcm, 0.04) == 300 * MHZ
+    assert policy.react(bank, vpcm, 0.05) == 500 * MHZ
+    assert policy.switches == 4
+
+
+def test_ladder_per_level_thresholds():
+    vpcm = Vpcm(virtual_hz=500 * MHZ)
+    policy = DvfsLadderPolicy(
+        levels_hz=[500 * MHZ, 300 * MHZ, 100 * MHZ],
+        step_down_kelvin=[345.0, 355.0, 360.0],
+        step_up_kelvin=[340.0, 341.0, 342.0],
+    )
+    bank = make_bank(core0=350.0)
+    # Level 0 steps down at 345, but level 1 holds until 355.
+    assert policy.react(bank, vpcm, 0.01) == 300 * MHZ
+    assert policy.react(bank, vpcm, 0.02) == 300 * MHZ
+
+
+def test_ladder_time_at_level_stats():
+    vpcm = Vpcm(virtual_hz=500 * MHZ)
+    policy = DvfsLadderPolicy(levels_hz=[500 * MHZ, 100 * MHZ])
+    bank = make_bank(core0=360.0)
+    for window in range(1, 5):
+        policy.react(bank, vpcm, window * 0.01)
+    stats = policy.report()
+    assert stats["final_level"] == 1
+    # First react had no elapsed time; the three later windows sat at
+    # the bottom level.
+    assert stats["time_at_level_s"]["100MHz"] == pytest.approx(0.03)
+
+
+def test_ladder_validation():
+    with pytest.raises(ValueError, match="at least two"):
+        DvfsLadderPolicy(levels_hz=[500 * MHZ])
+    with pytest.raises(ValueError, match="strictly decreasing"):
+        DvfsLadderPolicy(levels_hz=[100 * MHZ, 500 * MHZ])
+    with pytest.raises(ValueError, match="one value per level"):
+        DvfsLadderPolicy(levels_hz=[5e8, 1e8], step_down_kelvin=[350.0])
+    with pytest.raises(ValueError, match="below the step-down"):
+        DvfsLadderPolicy(levels_hz=[5e8, 1e8], step_up_kelvin=355.0)
+
+
+# -- PID ---------------------------------------------------------------------
+
+
+def test_pid_full_speed_when_cold():
+    vpcm = Vpcm(virtual_hz=500 * MHZ)
+    policy = PidFrequencyPolicy(target_kelvin=345.0)
+    bank = make_bank(core0=300.0)
+    assert policy.react(bank, vpcm, 0.01) == policy.max_hz
+
+
+def test_pid_slows_down_when_hot():
+    vpcm = Vpcm(virtual_hz=500 * MHZ)
+    policy = PidFrequencyPolicy(target_kelvin=345.0, kp=60 * MHZ, ki=0.0)
+    bank = make_bank(core0=350.0)
+    policy.react(bank, vpcm, 0.01)
+    target = policy.react(bank, vpcm, 0.02)
+    # 5 K over target at 60 MHz/K: 300 MHz off the top rail.
+    assert target == pytest.approx(500 * MHZ - 5.0 * 60 * MHZ)
+    assert vpcm.virtual_hz == target
+
+
+def test_pid_integral_does_not_wind_up_while_saturated():
+    vpcm = Vpcm(virtual_hz=500 * MHZ)
+    policy = PidFrequencyPolicy(target_kelvin=345.0)
+    bank = make_bank(core0=300.0)  # 45 K cold: pinned at max_hz
+    for window in range(1, 50):
+        policy.react(bank, vpcm, window * 0.01)
+    assert policy.integral_error == 0.0
+
+
+def test_pid_quantizes_on_step():
+    vpcm = Vpcm(virtual_hz=500 * MHZ)
+    policy = PidFrequencyPolicy(
+        target_kelvin=345.0, kp=60 * MHZ, ki=0.0, step_hz=50 * MHZ
+    )
+    bank = make_bank(core0=347.0)
+    policy.react(bank, vpcm, 0.01)
+    target = policy.react(bank, vpcm, 0.02)
+    assert target % (50 * MHZ) == 0.0
+
+
+def test_pid_validation():
+    with pytest.raises(ValueError, match="min_hz"):
+        PidFrequencyPolicy(min_hz=0.0)
+    with pytest.raises(ValueError, match="gains"):
+        PidFrequencyPolicy(kp=-1.0)
+    with pytest.raises(ValueError, match="step_hz"):
+        PidFrequencyPolicy(step_hz=0.0)
+
+
+def test_pid_report_stats():
+    vpcm = Vpcm(virtual_hz=500 * MHZ)
+    policy = PidFrequencyPolicy(target_kelvin=345.0)
+    bank = make_bank(core0=347.0)
+    policy.react(bank, vpcm, 0.01)
+    policy.react(bank, vpcm, 0.02)
+    stats = policy.report()
+    assert stats["target_kelvin"] == 345.0
+    assert stats["integral_error_ks"] > 0.0
+    assert stats["switches"] >= 1
+
+
+# -- predictive --------------------------------------------------------------
+
+
+def test_predictive_throttles_before_the_threshold():
+    vpcm = Vpcm(virtual_hz=500 * MHZ)
+    policy = PredictiveThrottlePolicy(
+        threshold_kelvin=350.0, release_kelvin=342.0,
+        history=3, lookahead_s=0.05,
+    )
+    bank = make_bank(core0=340.0)
+    # Heating 2 K per 10 ms window: forecast = T + 200 K/s * 0.05 s.
+    assert policy.react(bank, vpcm, 0.01) == policy.high_hz
+    bank.update({"core0": 342.0}, 0.02)
+    # Slope 200 K/s, forecast 342 + 10 = 352 >= 350: throttle now,
+    # eight windows before the measured crossing.
+    assert policy.react(bank, vpcm, 0.02) == policy.low_hz
+    assert policy.preemptive_throttles == 1
+    # Releases only on the measured temperature.
+    bank.update({"core0": 341.0}, 0.03)
+    assert policy.react(bank, vpcm, 0.03) == policy.high_hz
+    assert policy.switches == 2
+
+
+def test_predictive_reacts_to_measured_crossing_too():
+    vpcm = Vpcm(virtual_hz=500 * MHZ)
+    policy = PredictiveThrottlePolicy(lookahead_s=0.0)
+    bank = make_bank(core0=351.0)
+    assert policy.react(bank, vpcm, 0.01) == policy.low_hz
+    assert policy.preemptive_throttles == 0
+
+
+def test_predictive_validation():
+    with pytest.raises(ValueError, match="below the throttle"):
+        PredictiveThrottlePolicy(threshold_kelvin=350.0, release_kelvin=350.0)
+    with pytest.raises(ValueError, match="history"):
+        PredictiveThrottlePolicy(history=1)
+    with pytest.raises(ValueError, match="lookahead"):
+        PredictiveThrottlePolicy(lookahead_s=-1.0)
+    with pytest.raises(ValueError, match="low frequency"):
+        PredictiveThrottlePolicy(high_hz=1e8, low_hz=1e8)
+
+
+# -- per-domain --------------------------------------------------------------
+
+
+def test_per_domain_gates_cores_and_fabric_independently():
+    vpcm = Vpcm(virtual_hz=500 * MHZ)
+    policy = PerDomainPolicy(core_components={"arm11_0": 0, "arm11_1": 1})
+    bank = make_bank(arm11_0=360.0, arm11_1=320.0, shared_mem=320.0)
+    policy.react(bank, vpcm, 0.01)
+    # Hot core throttled, cool core at speed, fabric untouched.
+    assert policy.core_frequencies()[0] == policy.core_low_hz
+    assert policy.core_frequencies()[1] == policy.core_high_hz
+    assert vpcm.virtual_hz == policy.fabric_high_hz
+    # Now the shared memory latches hot: the fabric gates down while the
+    # cool core keeps its own clock.
+    bank.update({"shared_mem": 355.0}, 0.02)
+    policy.react(bank, vpcm, 0.02)
+    assert vpcm.virtual_hz == policy.fabric_low_hz
+    assert policy.core_frequencies()[1] == policy.core_high_hz
+    stats = policy.report()
+    assert stats["core_switches"] == 1
+    assert stats["fabric_switches"] == 1
+
+
+def test_per_domain_derives_core_map_at_bind():
+    policy = PerDomainPolicy()
+    # bind() runs inside the framework constructor.
+    EmulationFramework(
+        platform=None,
+        floorplan=floorplan_4xarm11(),
+        workload=ProfiledWorkload(
+            ActivityProfile(
+                name="p",
+                cycles_per_iteration=1000,
+                utilization={("core", i): 0.9 for i in range(4)},
+            ),
+            total_iterations=10**6,
+        ),
+        policy=policy,
+        config=FrameworkConfig(virtual_hz=500 * MHZ, spreader_resolution=(2, 2)),
+    )
+    assert policy.core_components == {f"arm11_{i}": i for i in range(4)}
+
+
+def test_per_domain_validation():
+    with pytest.raises(ValueError, match="core low"):
+        PerDomainPolicy(core_high_hz=1e8, core_low_hz=1e8)
+    with pytest.raises(ValueError, match="fabric low"):
+        PerDomainPolicy(fabric_high_hz=1e8, fabric_low_hz=1e8)

@@ -107,13 +107,15 @@ def test_artifact_error_is_captured_not_raised():
 # -- the registered paper artifacts -----------------------------------------
 
 
-def test_all_five_paper_artifacts_registered():
-    assert ARTIFACTS.names() == ["fig3", "fig6", "table1", "table2", "table3"]
+def test_all_registered_artifacts():
+    assert ARTIFACTS.names() == [
+        "fig3", "fig6", "policy_comparison", "table1", "table2", "table3",
+    ]
 
 
 def test_default_order_follows_the_paper():
     assert default_artifact_names() == [
-        "table1", "table2", "table3", "fig3", "fig6",
+        "table1", "table2", "table3", "fig3", "fig6", "policy_comparison",
     ]
 
 
@@ -157,6 +159,23 @@ def test_fig6_artifact_shape():
     assert result.ok, render_verdicts([result])
     assert result.values["unmanaged_peak_k"] > result.values["managed_peak_k"]
     assert result.body.count("```") == 4  # two fenced ASCII charts
+
+
+def test_policy_comparison_artifact_races_all_builtins():
+    artifact = ARTIFACTS.get("policy_comparison")()
+    assert artifact.batched and artifact.capture_trace
+    result = artifact.run()
+    assert result.ok, render_verdicts([result])
+    # The acceptance bar: >= 6 policies (4 ported + >= 2 exploration).
+    assert result.values["policies_compared"] >= 6
+    assert (
+        result.values["managed_peak_max_k"]
+        < result.values["unmanaged_peak_k"]
+    )
+    # Per-policy stats from the report() hook reach the rendered body.
+    assert "switches=" in result.body
+    for name in ("dual_threshold", "dvfs_ladder", "pid", "predictive"):
+        assert f"peak_k_{name}" in result.values
 
 
 # -- pipeline rendering ------------------------------------------------------

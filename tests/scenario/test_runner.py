@@ -239,3 +239,44 @@ def test_sweep_through_runner():
     assert [r.name for r in results] == [s.name for s in scenarios]
     assert all(r.ok for r in results)
     assert all(r.wall_seconds > 0 for r in results)
+
+
+def stall_scenario(name, **overrides):
+    """10 Hz virtual clock: every 10 ms window rounds to zero cycles, so
+    the workload never progresses and only a stall bound can end the
+    run (regression for the unbounded zero-progress spin)."""
+    scenario = profiled_scenario(name)
+    scenario.config.virtual_hz = 10.0
+    scenario.max_emulated_seconds = None
+    scenario.max_windows = None
+    scenario.max_stall_windows = 4
+    for key, value in overrides.items():
+        setattr(scenario, key, value)
+    return scenario
+
+
+def test_scenario_stall_bound_round_trips_and_terminates():
+    import json as _json
+
+    scenario = stall_scenario("stall")
+    rebuilt = Scenario.from_dict(_json.loads(_json.dumps(scenario.to_dict())))
+    assert rebuilt.max_stall_windows == 4
+    framework, report = rebuilt.run()
+    assert framework.windows == 4
+    assert report.stalled
+    assert not report.workload_done
+
+
+def test_runner_terminates_stall_bounded_scenarios():
+    [result] = Runner().run([stall_scenario("stall")])
+    assert result.ok
+    assert result.report.stalled
+    assert result.report.windows == 4
+
+
+def test_batched_runner_honours_stall_bound():
+    results = Runner().run_batched(
+        [stall_scenario("stall_a"), stall_scenario("stall_b", max_stall_windows=6)]
+    )
+    assert [r.report.windows for r in results] == [4, 6]
+    assert all(r.report.stalled for r in results)
