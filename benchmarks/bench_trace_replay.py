@@ -1,0 +1,167 @@
+"""Trace replay vs. full re-emulation: the record-once/fan-out speedup.
+
+The paper's HW/SW split means the expensive half of a run — the
+cycle-accurate emulated platform — produces a per-window power stream
+that the SW thermal side merely consumes.  When only thermal-side knobs
+change (die resolution, grid mode, solver backend, material
+properties: the Table 2 / Figure 3 sweeps), re-running the platform is
+pure waste.  This bench quantifies that: a 16-variant thermal-side
+sweep over one cycle-accurate MATRIX run, executed
+
+* the slow way — 16 full co-emulations (``Runner`` without a store);
+* the fast way — **one** recorded emulation plus 16 thermal-only
+  replays (``Runner(trace_store=...)``), recording time included.
+
+Check mode (``python benchmarks/bench_trace_replay.py --check``) skips
+the timing and asserts record→replay digest equivalence plus the
+variant fan-out bookkeeping, so CI can gate the replay path without
+timing flakiness.
+"""
+
+import argparse
+import sys
+import time
+
+from repro.scenario.presets import PRESETS
+from repro.scenario.runner import Runner
+from repro.scenario.sweep import Variant, sweep
+from repro.trace import TraceStore, record, replay
+from repro.util.records import Table
+
+#: The thermal-side grid: 4 die resolutions x 2 solver backends x 2
+#: spreader resolutions = 16 variants of one emulation-identical run.
+DIE_RESOLUTIONS = ((4, 4), (6, 6), (8, 8), (10, 10))
+BACKENDS = ("sparse_be", "cached_lu")
+SPREADERS = ((2, 2), (3, 3))
+
+
+def base_scenario():
+    """A cycle-accurate 4-core MATRIX run (the emulation is the cost)."""
+    scenario = PRESETS.get("matrix_quickstart")()
+    scenario.name = "trace_replay_bench"
+    scenario.workload.params.update(n=8, iterations=2)
+    return scenario
+
+
+def variants():
+    return sweep(
+        base_scenario(),
+        {
+            "config.grid_mode": ["uniform"],
+            "config.die_resolution": [
+                Variant(f"{nx}x{ny}", [nx, ny]) for nx, ny in DIE_RESOLUTIONS
+            ],
+            "config.spreader_resolution": [
+                Variant(f"sp{nx}x{ny}", [nx, ny]) for nx, ny in SPREADERS
+            ],
+            "config.solver_backend": list(BACKENDS),
+        },
+    )
+
+
+def run_check():
+    """No timing: record -> replay digest equivalence + fan-out counts."""
+    scenario = base_scenario()
+    framework, _, archive = record(scenario)
+    player, _ = replay(archive)
+    live = framework.trace.digest()
+    replayed = player.trace.digest()
+    if live != replayed:
+        print(f"FAIL: replay digest {replayed} != live {live}")
+        return 1
+    sweep_members = variants()
+    results = Runner(trace_store=TraceStore()).run(sweep_members)
+    bad = [r for r in results if not r.ok]
+    if bad:
+        print(f"FAIL: {bad[0].name}: {bad[0].error}")
+        return 1
+    replays = sum(1 for r in results if r.replayed)
+    if replays != len(sweep_members) - 1:
+        print(
+            f"FAIL: expected {len(sweep_members) - 1} replays out of "
+            f"{len(sweep_members)} variants, got {replays}"
+        )
+        return 1
+    print(
+        f"OK: replay digest matches the live run bit-for-bit; "
+        f"{replays}/{len(sweep_members)} sweep members replayed from "
+        f"one recording"
+    )
+    return 0
+
+
+def run_bench():
+    sweep_members = variants()
+
+    start = time.perf_counter()
+    live_results = Runner().run(sweep_members)
+    live_wall = time.perf_counter() - start
+    assert all(r.ok for r in live_results), [
+        r.error for r in live_results if not r.ok
+    ]
+
+    start = time.perf_counter()
+    replay_results = Runner(trace_store=TraceStore()).run(sweep_members)
+    replay_wall = time.perf_counter() - start
+    assert all(r.ok for r in replay_results), [
+        r.error for r in replay_results if not r.ok
+    ]
+    replays = sum(1 for r in replay_results if r.replayed)
+    speedup = live_wall / replay_wall if replay_wall > 0 else float("inf")
+
+    table = Table(
+        ["strategy", "emulations", "replays", "wall (s)", "speedup"],
+        title=f"{len(sweep_members)}-variant thermal-side sweep "
+        f"(die resolution x spreader x solver backend) over one "
+        f"cycle-accurate 4-core MATRIX run",
+    )
+    table.add_row(
+        "full re-emulation", len(sweep_members), 0, f"{live_wall:.2f}", "1.0x"
+    )
+    table.add_row(
+        "record once + replay (incl. recording)",
+        len(sweep_members) - replays,
+        replays,
+        f"{replay_wall:.2f}",
+        f"{speedup:.1f}x",
+    )
+    drift = max(
+        abs(a.report.peak_temperature_k - b.report.peak_temperature_k)
+        for a, b in zip(live_results, replay_results)
+    )
+    note = (
+        f"max |peak T| drift between the two strategies: {drift:.3g} K "
+        f"(identical knobs replay bit-for-bit; only the shared-recording "
+        f"members' wall clocks differ)"
+    )
+    text = f"{table.render()}\n{note}"
+    print(text)
+    try:
+        import pathlib
+
+        results_dir = pathlib.Path(__file__).parent / "results"
+        results_dir.mkdir(exist_ok=True)
+        (results_dir / "bench_trace_replay.txt").write_text(text + "\n")
+    except OSError:
+        pass
+    if speedup < 5.0:
+        print(f"WARNING: speedup {speedup:.1f}x below the 5x target")
+        return 1
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Trace replay vs full re-emulation speedup bench."
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="skip timing; assert record->replay digest equivalence "
+        "and the fan-out bookkeeping (CI mode)",
+    )
+    args = parser.parse_args(argv)
+    return run_check() if args.check else run_bench()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -108,6 +108,15 @@ from repro.scenario import (
     WorkloadSpec,
     sweep,
 )
+from repro.trace import (
+    ReplaySource,
+    TraceArchive,
+    TraceStore,
+    load_archive,
+    record,
+    replay,
+    scenario_trace_digest,
+)
 from repro.workloads import (
     dithering_programs,
     golden_dither,
@@ -150,6 +159,7 @@ __all__ = [
     "ProfiledWorkload",
     "Program",
     "RCNetwork",
+    "ReplaySource",
     "Runner",
     "Scenario",
     "ScenarioResult",
@@ -161,6 +171,8 @@ __all__ = [
     "ThermalProperties",
     "ThermalSolver",
     "ThermalTrace",
+    "TraceArchive",
+    "TraceStore",
     "Variant",
     "Vpcm",
     "WorkloadSpec",
@@ -174,10 +186,14 @@ __all__ = [
     "generate_custom",
     "generate_mesh",
     "golden_dither",
+    "load_archive",
     "load_images",
     "matrix_programs",
     "profile_platform_run",
     "read_image",
+    "record",
+    "replay",
+    "scenario_trace_digest",
     "sweep",
     "__version__",
 ]

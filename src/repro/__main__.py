@@ -9,6 +9,7 @@ Usage::
     python -m repro matrix_quickstart --dump > scenario.json
     python -m repro report [--artifact NAME] [--check]
     python -m repro policies [--verbose] [--json]
+    python -m repro trace record|replay|info|list ...
 
 A spec file holds either one scenario (``Scenario.to_dict()`` form) or a
 suite (``{"name": ..., "scenarios": [...]}``); every run prints the
@@ -95,6 +96,11 @@ def main(argv=None):
         return report_main(argv[1:])
     if argv and argv[0] == "policies":
         return _policies_main(argv[1:])
+    if argv and argv[0] == "trace":
+        # Power-trace capture & replay (repro.trace) has its own flags.
+        from repro.trace.cli import main as trace_main
+
+        return trace_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro",

@@ -45,6 +45,7 @@ class FrameworkConfig:
     bram_capacity_bytes: int = 64 * 1024
     initial_temperature_kelvin: float | None = None  # default: ambient
     solver_backend: str | dict = "sparse_be"  # see repro.thermal.backends
+    trace_stride: int = 1  # keep every k-th ThermalTrace sample
 
     def __post_init__(self):
         if self.sampling_period_s <= 0:
@@ -62,6 +63,13 @@ class FrameworkConfig:
                 f"got {self.initial_temperature_kelvin}"
             )
         self._validate_solver_backend()
+        if not isinstance(self.trace_stride, int) or isinstance(
+            self.trace_stride, bool
+        ) or self.trace_stride < 1:
+            raise ValueError(
+                f"trace_stride must be a positive integer (1 keeps every "
+                f"sample), got {self.trace_stride!r}"
+            )
         if self.sensor_upper_kelvin <= self.sensor_lower_kelvin:
             raise ValueError(
                 f"sensor upper threshold ({self.sensor_upper_kelvin} K) must be "
@@ -159,16 +167,29 @@ class RunReport:
         status = "done" if self.workload_done else "unfinished"
         if self.stalled:
             status += ", STALLED"
+
+        def kelvin(value):
+            # Zero-window runs carry NaN temperatures (no sample ever
+            # reached the trace) — render them honestly, not as 0.0 K.
+            return "n/a" if value != value else f"{value:.1f} K"
+
         lines = [
             f"emulated {format_duration(self.emulated_seconds)} "
             f"({self.windows} windows, workload {status}) in "
             f"{format_duration(self.fpga_real_seconds)} of board time",
-            f"  peak {self.peak_temperature_k:.1f} K | "
-            f"final {self.final_temperature_k:.1f} K | "
+            f"  peak {kelvin(self.peak_temperature_k)} | "
+            f"final {kelvin(self.final_temperature_k)} | "
             f"{self.frequency_transitions} DFS transitions",
         ]
         if self.instructions:
             lines.append(f"  instructions {self.instructions:.3g}")
+        if "replay" in self.extras:
+            replay = self.extras["replay"]
+            lines.append(
+                f"  replayed from trace "
+                f"{str(replay.get('scenario_digest', '?'))[:12]} "
+                f"({replay.get('recorded_windows', '?')} recorded windows)"
+            )
         if self.freeze_breakdown:
             frozen = ", ".join(
                 f"{reason} {seconds:.3g} s"
@@ -274,6 +295,14 @@ class EmulationFramework:
         self.windows = 0
         self.stall_windows = 0  # consecutive zero-progress windows
         self._stall_bound_hit = False  # a bounds check tripped on stalling
+        # Per-window capture hooks (repro.trace records the dispatcher
+        # boundary through these) — called for *every* window, before
+        # trace_stride decimation.
+        self.captures = []
+        # Peak/final run independently of the (possibly decimated) trace,
+        # so trace_stride never changes the reported temperatures.
+        self._peak_temp_k = float("nan")
+        self._final_temp_k = float("nan")
         # Launch-time policy validation: a policy naming components with
         # no sensor (or needing floorplan defaults) finds out now, not
         # silently mid-run.  getattr keeps duck-typed legacy policies
@@ -363,9 +392,22 @@ class EmulationFramework:
             component_temps=temps,
             events=tuple(sorted(transitions.items())),
         )
-        self.trace.append(sample)
+        for capture in self.captures:
+            capture.on_window(self, powers, frequency, sample)
+        if not (self.windows % self.config.trace_stride):
+            self.trace.append(sample)
+        if not (self._peak_temp_k >= sample.max_temp_k):  # NaN-aware max
+            self._peak_temp_k = sample.max_temp_k
+        self._final_temp_k = sample.max_temp_k
         self.windows += 1
         return sample
+
+    def attach_capture(self, capture):
+        """Register a per-window capture hook (``on_window(framework,
+        powers, frequency, sample)``); returns ``capture`` for chaining.
+        Captures see every window, even ones ``trace_stride`` drops."""
+        self.captures.append(capture)
+        return capture
 
     @property
     def stalled(self):
@@ -435,8 +477,8 @@ class EmulationFramework:
             fpga_real_seconds=self.vpcm.real_seconds,
             windows=self.windows,
             workload_done=self.workload.done,
-            peak_temperature_k=self.trace.peak_temperature(),
-            final_temperature_k=self.trace.final_temperature(),
+            peak_temperature_k=self._peak_temp_k,
+            final_temperature_k=self._final_temp_k,
             freeze_breakdown=dict(self.vpcm.freezes),
             frequency_transitions=len(self.vpcm.transitions),
             dispatcher=self.dispatcher.stats(),

@@ -7,6 +7,7 @@ data behind Figure 6.
 """
 
 import io
+import math
 from dataclasses import dataclass, field
 
 
@@ -50,6 +51,29 @@ class TraceSample:
     component_temps: dict = field(default_factory=dict)
     events: tuple = ()  # sensor/DFS transitions this window
 
+    def to_dict(self):
+        """JSON-compatible dict; ``from_dict`` round-trips it losslessly
+        (the ``events`` tuple-of-pairs serializes as a list of lists)."""
+        return {
+            "time_s": self.time_s,
+            "frequency_hz": self.frequency_hz,
+            "total_power_w": self.total_power_w,
+            "max_temp_k": self.max_temp_k,
+            "component_temps": dict(self.component_temps),
+            "events": [list(event) for event in self.events],
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(
+            time_s=data["time_s"],
+            frequency_hz=data["frequency_hz"],
+            total_power_w=data["total_power_w"],
+            max_temp_k=data["max_temp_k"],
+            component_temps=dict(data.get("component_temps", {})),
+            events=tuple(tuple(event) for event in data.get("events", ())),
+        )
+
 
 @dataclass
 class ThermalTrace:
@@ -76,10 +100,19 @@ class ThermalTrace:
         return [s.component_temps.get(component, float("nan")) for s in self.samples]
 
     def peak_temperature(self):
-        return max(self.max_temps(), default=0.0)
+        """Highest per-window max temperature, or NaN for an empty trace.
+
+        NaN, not 0.0: the sentinel flows into
+        ``RunReport.peak_temperature_k`` where a literal 0.0 K reads as a
+        real (absurd) temperature and silently passes ``high=...``
+        tolerance checks.  NaN propagates, fails every comparison, and
+        renders as ``n/a`` in summaries.
+        """
+        return max(self.max_temps(), default=float("nan"))
 
     def final_temperature(self):
-        return self.samples[-1].max_temp_k if self.samples else 0.0
+        """Last window's max temperature, or NaN for an empty trace."""
+        return self.samples[-1].max_temp_k if self.samples else float("nan")
 
     def duty_cycle(self, frequency_hz):
         """Fraction of samples spent at the given clock frequency."""
@@ -100,12 +133,26 @@ class ThermalTrace:
 
     def digest(self):
         """A JSON-safe summary of the trace (the full sample list stays
-        on the object; use :meth:`to_csv` to export it)."""
+        on the object; use :meth:`to_csv` or :meth:`to_dict` to export
+        it).  Empty traces report ``None`` temperatures (NaN is not
+        valid JSON)."""
+        peak = self.peak_temperature()
+        final = self.final_temperature()
         return {
             "samples": len(self),
-            "peak_temperature_k": self.peak_temperature(),
-            "final_temperature_k": self.final_temperature(),
+            "peak_temperature_k": None if math.isnan(peak) else peak,
+            "final_temperature_k": None if math.isnan(final) else final,
         }
+
+    def to_dict(self):
+        """Lossless JSON-compatible dict of every sample."""
+        return {"samples": [sample.to_dict() for sample in self.samples]}
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(
+            samples=[TraceSample.from_dict(s) for s in data.get("samples", [])]
+        )
 
     def to_csv(self):
         """CSV text: time, frequency, power, max temperature, components."""

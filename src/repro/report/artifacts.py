@@ -189,6 +189,10 @@ class Artifact:
     numeric metrics and the rendered Markdown body.  ``batched=True``
     routes the scenarios through :meth:`Runner.run_batched`, so
     structure-sharing variants co-step through one multi-RHS solve.
+    ``use_trace_store=True`` gives the runner an in-memory
+    :class:`repro.trace.store.TraceStore`, so sweep members that differ
+    only in thermal-side knobs replay one member's recorded boundary
+    stream instead of re-emulating (record once, fan out).
     """
 
     name: str
@@ -199,6 +203,7 @@ class Artifact:
     scenarios: tuple = ()
     batched: bool = False
     capture_trace: bool = False
+    use_trace_store: bool = False
     checks: tuple = ()
 
     def run(self, runner=None):
@@ -209,14 +214,23 @@ class Artifact:
             results = []
             if self.scenarios:
                 if runner is None:
-                    runner = Runner(capture_trace=self.capture_trace)
-                elif self.capture_trace and not runner.capture_trace:
-                    # The extractor needs traces; a caller-supplied runner
-                    # must not silently drop them.
+                    runner = Runner(
+                        capture_trace=self.capture_trace,
+                        trace_store=True if self.use_trace_store else None,
+                    )
+                elif (self.capture_trace and not runner.capture_trace) or (
+                    self.use_trace_store and runner.trace_store is None
+                ):
+                    # The extractor needs traces (or the replay path); a
+                    # caller-supplied runner must not silently drop them.
                     runner = Runner(
                         workers=runner.workers,
-                        capture_trace=True,
+                        capture_trace=self.capture_trace or runner.capture_trace,
                         start_method=runner.start_method,
+                        trace_store=(
+                            True if self.use_trace_store else runner.trace_store
+                        ),
+                        trace_stride=runner.trace_stride,
                     )
                 batch = list(self.scenarios)
                 if self.batched:
@@ -359,8 +373,58 @@ def _table2_extract(results):
         f"{len(net.edge_i)} resistive edges, "
         f"{int(net.is_nonlinear.sum())} non-linear (silicon) cells"
     )
-    body = f"{markdown_table(table)}\n\n{markdown_table(curve)}\n\n{inventory}"
+    replay_note = _table2_replay_validation(values)
+    body = (
+        f"{markdown_table(table)}\n\n{markdown_table(curve)}\n\n"
+        f"{inventory}\n\n{replay_note}"
+    )
     return values, body
+
+
+def _table2_replay_validation(values):
+    """Validate the Table 2 material properties through trace replay.
+
+    One MATRIX-TM-class stress run is recorded at the dispatcher
+    boundary (repro.trace), then the SW thermal side alone is re-run
+    twice from the recording: once with unchanged knobs — which must
+    reproduce the live trace digest bit-for-bit — and once with the
+    non-linear silicon conductivity frozen at its 300 K value.  The
+    frozen-k die must come out measurably cooler (hot silicon conducts
+    worse, so the paper's non-linear resistances are self-reinforcing),
+    which is the property Table 2's k(T) law exists to capture.
+    """
+    from repro.scenario.presets import PRESETS
+    from repro.thermal.properties import SILICON_VOLUMETRIC_HEAT, Material
+    from repro.trace import record, replay
+
+    scenario = PRESETS.get("matrix_tm_unmanaged")()
+    scenario.name = "table2_replay_probe"
+    scenario.max_emulated_seconds = 3.0
+    framework, live_report, archive = record(scenario)
+    faithful, faithful_report = replay(archive)
+    values["replay_digest_match"] = float(
+        faithful.trace.digest() == framework.trace.digest()
+    )
+    frozen_k = ThermalProperties(
+        die_material=Material(
+            name="silicon-const-k300",
+            conductivity=float(silicon_conductivity(300.0)),
+            volumetric_heat=SILICON_VOLUMETRIC_HEAT,
+        )
+    )
+    _, frozen_report = replay(archive, properties=frozen_k)
+    values["nonlinear_peak_excess_k"] = (
+        faithful_report.peak_temperature_k - frozen_report.peak_temperature_k
+    )
+    return (
+        f"Replay validation: a {archive.windows}-window stress recording "
+        f"replayed through the thermal side alone reproduces the live "
+        f"trace digest exactly "
+        f"(match={int(values['replay_digest_match'])}), and freezing the "
+        f"silicon conductivity at k(300 K) cools the peak by "
+        f"{values['nonlinear_peak_excess_k']:.2f} K — the non-linear "
+        f"resistances of Table 2 at work."
+    )
 
 
 @ARTIFACTS.register("table2")
@@ -371,7 +435,8 @@ def table2_artifact():
         paper_ref="Table 2, Section 5.2",
         description="Regenerates the property table, validates the "
         "non-linear silicon conductivity law and the 660-cell-class "
-        "fine grid it acts on.",
+        "fine grid it acts on; a recorded stress run replayed through "
+        "repro.trace checks the k(T) law's thermal effect end to end.",
         extract=_table2_extract,
         checks=(
             Check("silicon_k_300", expected=150.0),
@@ -382,6 +447,18 @@ def table2_artifact():
                 note="the 18x18x2 uniform grid of Section 5.2",
             ),
             Check("nonlinear_cells", low=1.0),
+            Check(
+                "replay_digest_match",
+                expected=1.0,
+                note="record -> replay reproduces the live trace "
+                "digest bit-for-bit",
+            ),
+            Check(
+                "nonlinear_peak_excess_k",
+                low=0.02,
+                note="freezing k at 300 K must cool the die: hot "
+                "silicon conducts worse",
+            ),
         ),
     )
 
@@ -583,18 +660,26 @@ def _fig3_extract(results):
         cells = int(result.report.extras["thermal_cells"])
         groups.setdefault(cells, []).append(result)
     table = Table(
-        ["cells", "scenarios", "windows each", "group wall (s)",
+        ["cells", "scenarios", "replayed", "windows each", "group wall (s)",
          "scenario-windows/s", "us/cell/window", "real-time factor"],
         title="Figure 3 / Section 5.2: RC-model scaling, co-stepped "
         "through one multi-RHS backward-Euler solve per window "
-        "(Runner.run_batched)",
+        "(Runner.run_batched); unmanaged variants replay one recorded "
+        "power trace instead of re-emulating (repro.trace)",
     )
     values = {}
     points = []
+    replayed_total = 0
     for cells in sorted(groups):
         members = groups[cells]
-        wall = members[0].wall_seconds  # the group's shared wall time
+        # Live and replayed members of one resolution run in separate
+        # co-step groups; members of one co-step group share one exact
+        # wall float, so summing the distinct values gives the
+        # resolution's total wall time.
+        wall = sum({m.wall_seconds for m in members})
         windows = members[0].report.windows
+        replayed = sum(1 for m in members if m.replayed)
+        replayed_total += replayed
         scenario_windows = len(members) * windows
         rate = scenario_windows / wall if wall > 0 else float("inf")
         per_cell = wall / scenario_windows / cells * 1e6
@@ -604,6 +689,7 @@ def _fig3_extract(results):
         table.add_row(
             cells,
             len(members),
+            replayed,
             windows,
             f"{wall:.3f}",
             f"{rate:,.0f}",
@@ -616,6 +702,7 @@ def _fig3_extract(results):
     values["cells_max"] = float(cells_large)
     values["structures"] = float(len(groups))
     values["scenarios"] = float(len(results))
+    values["replayed_scenarios"] = float(replayed_total)
     values["scaling_exponent"] = math.log(cost_large / cost_small) / math.log(
         cells_large / cells_small
     )
@@ -625,7 +712,9 @@ def _fig3_extract(results):
         "must grow roughly linearly in the cell count (the paper: 2 s of "
         "simulation on a 660-cell floorplan in 1.65 s on a 3 GHz "
         "Pentium 4).  Both policy variants of each resolution share one "
-        "factorization stream."
+        "factorization stream, and the unmanaged (open-loop) variants "
+        "beyond the first replay its recorded dispatcher-boundary power "
+        "stream — the thermal side re-solves, the platform never re-runs."
     )
     return values, f"{markdown_table(table)}\n\n{note}"
 
@@ -639,17 +728,26 @@ def fig3_artifact(resolutions=((6, 6), (12, 12), (18, 18)), max_windows=100):
         paper_ref="Figure 3, Section 5.2",
         description="Sweeps the uniform-grid resolution up to the "
         "paper's 660-cell class and co-steps the variants through "
-        "Runner.run_batched; checks linear-complexity scaling and the "
-        "real-time co-emulation requirement.",
+        "Runner.run_batched with a trace store: the unmanaged variants "
+        "replay one recorded power trace across every resolution; "
+        "checks linear-complexity scaling and the real-time "
+        "co-emulation requirement.",
         extract=_fig3_extract,
         scenarios=_fig3_scenarios(resolutions, max_windows),
         batched=True,
+        use_trace_store=True,
         checks=(
             Check("cells_max", expected=float(
                 2 * resolutions[-1][0] * resolutions[-1][1]
             )),
             Check("structures", expected=float(len(resolutions))),
             Check("scenarios", expected=float(num)),
+            Check(
+                "replayed_scenarios",
+                expected=float(len(resolutions) - 1),
+                note="every open-loop resolution after the first replays "
+                "the first one's recorded boundary stream",
+            ),
             Check(
                 "scaling_exponent",
                 high=1.5,

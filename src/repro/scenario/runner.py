@@ -12,6 +12,16 @@ fanning scenarios out, it co-steps scenarios that share one network
 structure through a single multi-RHS thermal solve per window (one
 factorization for the whole group — see
 :class:`repro.thermal.backends.BatchedLU`).
+
+``trace_store`` adds the record-once/replay-many decoupling from
+:mod:`repro.trace`: every emulated scenario is captured into the store
+under its canonical scenario digest
+(:func:`repro.trace.store.scenario_trace_digest`), and any scenario
+whose digest is already present — a previous run, or another member of
+the *same* batch that differs only in thermal-side knobs — replays the
+recorded boundary stream through the thermal solver instead of
+re-emulating the platform.  Replayed members carry provenance in
+``report.extras["replay"]``.
 """
 
 import multiprocessing
@@ -42,6 +52,12 @@ class ScenarioResult:
         return self.error is None
 
     @property
+    def replayed(self):
+        """True when this member replayed a recorded trace instead of
+        re-emulating (see ``report.extras["replay"]``)."""
+        return self.report is not None and "replay" in self.report.extras
+
+    @property
     def policy_stats(self):
         """Per-policy statistics the run's policy exported via
         ``report()`` (``RunReport.extras["policy"]``), or ``{}``."""
@@ -68,19 +84,47 @@ class ScenarioResult:
 
 
 def _execute(payload):
-    """Pool worker: run one scenario dict, return a picklable outcome."""
-    index, scenario_dict, capture_trace = payload
+    """Pool worker: run one scenario dict, return a picklable outcome.
+
+    With ``capture_power`` the live run records its boundary stream and
+    ships the :class:`~repro.trace.format.TraceArchive` back (NumPy
+    arrays pickle fine), so the parent can file it in the trace store.
+    """
+    index, scenario_dict, capture_trace, capture_power = payload
     start = time.perf_counter()
     name = scenario_dict.get("name", f"scenario{index}")
+    archive = None
     try:
         scenario = Scenario.from_dict(scenario_dict)
-        framework, report = scenario.run()
+        if capture_power:
+            from repro.trace.capture import record
+
+            framework, report, archive = record(scenario)
+        else:
+            framework, report = scenario.run()
         wall = time.perf_counter() - start
         trace = framework.trace if capture_trace else None
-        return index, scenario.name, report.to_dict(), wall, None, trace
+        return index, scenario.name, report.to_dict(), wall, None, trace, archive
     except Exception as exc:  # the batch survives one bad scenario
         wall = time.perf_counter() - start
-        return index, name, None, wall, f"{type(exc).__name__}: {exc}", None
+        return index, name, None, wall, f"{type(exc).__name__}: {exc}", None, None
+
+
+def _group_key(runnable):
+    """The batching key of one framework-shaped runnable.
+
+    Grouping is defined by *configuration*, not object identity: the
+    structure-keyed assembly cache stamps every network it hands out
+    with its content key (:attr:`repro.thermal.rc_network.RCNetwork.
+    structure_key`), so two scenarios whose floorplan + grid knobs
+    coincide group together even when cache eviction (or a custom
+    build) gave them distinct grid objects.  Networks without a content
+    key (custom material properties) fall back to grid identity.
+    """
+    structure = runnable.network.structure_key
+    if structure is None:
+        structure = ("grid-id", id(runnable.grid))
+    return (structure, runnable.config.sampling_period_s)
 
 
 class Runner:
@@ -89,50 +133,183 @@ class Runner:
     ``workers <= 1`` runs in-process (and then also sees workloads and
     policies registered after import, regardless of start method).
     ``capture_trace=True`` ships each run's :class:`ThermalTrace` back in
-    the result — useful for plotting, costly for very long runs.
+    the result — useful for plotting, costly for very long runs;
+    ``trace_stride=k`` decimates those traces to every k-th sample (the
+    run's peak/final temperatures are tracked independently and stay
+    exact).  ``trace_store`` (a :class:`repro.trace.store.TraceStore`,
+    a directory path, or ``True`` for an in-memory store) turns on
+    record-once/replay-many: see the module docstring.
     """
 
-    def __init__(self, workers=1, capture_trace=False, start_method=None):
+    def __init__(self, workers=1, capture_trace=False, start_method=None,
+                 trace_store=None, trace_stride=None):
         if workers < 0:
             raise ValueError("workers must be >= 0")
         self.workers = workers
         self.capture_trace = capture_trace
+        if trace_stride is not None and (
+            not isinstance(trace_stride, int) or trace_stride < 1
+        ):
+            raise ValueError(
+                f"trace_stride must be a positive integer, got {trace_stride!r}"
+            )
+        self.trace_stride = trace_stride
+        if trace_store is not None:
+            from repro.trace.store import TraceStore
+
+            if trace_store is True:
+                trace_store = TraceStore()
+            elif not isinstance(trace_store, TraceStore):
+                trace_store = TraceStore(trace_store)
+        self.trace_store = trace_store
         if start_method is None:
             methods = multiprocessing.get_all_start_methods()
             start_method = "fork" if "fork" in methods else methods[0]
         self.start_method = start_method
 
+    # -- scenario normalization ------------------------------------------------
+    def _scenario_dict(self, item, index):
+        """One scenario as its dict form, with runner overrides applied."""
+        if isinstance(item, Scenario):
+            data = item.to_dict()
+        else:
+            data = dict(item)
+            data.setdefault("name", f"scenario{index}")
+        if self.trace_stride is not None:
+            config = dict(data.get("config") or {})
+            config["trace_stride"] = self.trace_stride
+            data["config"] = config
+        return data
+
+    def _replay_result(self, index, scenario_dict, archive, source):
+        """Replay one store hit in-process; mirrors ``_execute``."""
+        from repro.trace.replay import replay_for_scenario
+
+        start = time.perf_counter()
+        name = scenario_dict.get("name", f"scenario{index}")
+        try:
+            scenario = Scenario.from_dict(scenario_dict)
+            player = replay_for_scenario(archive, scenario, source=source)
+            report = player.run(
+                max_emulated_seconds=scenario.max_emulated_seconds,
+                max_windows=scenario.max_windows,
+            )
+            wall = time.perf_counter() - start
+            return ScenarioResult(
+                name=scenario.name,
+                index=index,
+                report=report,
+                wall_seconds=wall,
+                trace=player.trace if self.capture_trace else None,
+            )
+        except Exception as exc:
+            wall = time.perf_counter() - start
+            return ScenarioResult(
+                name=name,
+                index=index,
+                wall_seconds=wall,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+
+    # -- plain batches ---------------------------------------------------------
     def run(self, scenarios):
         """Run every scenario; returns ``list[ScenarioResult]`` in input
-        order.  Items may be :class:`Scenario` objects or raw dicts."""
-        payloads = []
-        for index, scenario in enumerate(scenarios):
-            if isinstance(scenario, Scenario):
-                scenario_dict = scenario.to_dict()
+        order.  Items may be :class:`Scenario` objects or raw dicts.
+
+        With a trace store, scenarios are deduplicated by their
+        canonical digest before anything runs: store hits replay
+        immediately, exactly one *leader* per unseen digest emulates
+        (and records), and the remaining *followers* replay the
+        leader's fresh recording — so a 16-variant thermal sweep costs
+        one emulation plus 16 thermal solves, not 16 emulations.
+        """
+        dicts = [
+            self._scenario_dict(item, index)
+            for index, item in enumerate(scenarios)
+        ]
+        if not dicts:
+            return []
+        if self.trace_store is None:
+            raw = self._run_payloads(
+                [(i, d, self.capture_trace, False) for i, d in enumerate(dicts)]
+            )
+            return [self._result_of(r) for r in sorted(raw)]
+
+        from repro.trace.store import scenario_trace_digest
+
+        store = self.trace_store
+        source = "memory" if store.in_memory else str(store.root)
+        results = [None] * len(dicts)
+        digests = []
+        for data in dicts:
+            try:
+                digests.append(scenario_trace_digest(data))
+            except Exception:
+                # Unparseable scenario: let _execute produce its error
+                # result; it just can't participate in replay dedup.
+                digests.append(None)
+        leaders, followers = [], []
+        claimed = set()
+        for index, (data, digest) in enumerate(zip(dicts, digests)):
+            archive = store.get(digest)
+            if archive is not None:
+                results[index] = self._replay_result(
+                    index, data, archive, source
+                )
+            elif digest is not None and digest in claimed:
+                followers.append(index)
             else:
-                scenario_dict = dict(scenario)
-            payloads.append((index, scenario_dict, self.capture_trace))
+                claimed.add(digest)
+                leaders.append(index)
+        raw = self._run_payloads(
+            [(i, dicts[i], self.capture_trace, True) for i in leaders]
+        )
+        fresh = {}  # digest -> archive, so followers skip disk re-loads
+        for row in raw:
+            index, archive = row[0], row[6]
+            results[index] = self._result_of(row)
+            if archive is not None:
+                fresh[archive.scenario_digest] = archive
+                try:
+                    store.put(archive)
+                except OSError:
+                    pass  # a full disk must not fail the run
+        for index in followers:
+            archive = fresh.get(digests[index])
+            if archive is None:
+                archive = store.get(digests[index])
+            if archive is None:
+                # The leader failed to record (its error is its own
+                # result); the follower still runs live — its thermal
+                # side differs, so the failure may not repeat.
+                row = _execute((index, dicts[index], self.capture_trace, False))
+                results[index] = self._result_of(row)
+            else:
+                results[index] = self._replay_result(
+                    index, dicts[index], archive, source
+                )
+        return results
+
+    def _run_payloads(self, payloads):
         if not payloads:
             return []
         if self.workers <= 1 or len(payloads) == 1:
-            raw = [_execute(p) for p in payloads]
-        else:
-            ctx = multiprocessing.get_context(self.start_method)
-            with ctx.Pool(processes=min(self.workers, len(payloads))) as pool:
-                raw = pool.map(_execute, payloads)
-        results = []
-        for index, name, report_dict, wall, error, trace in raw:
-            results.append(
-                ScenarioResult(
-                    name=name,
-                    index=index,
-                    report=RunReport.from_dict(report_dict) if report_dict else None,
-                    wall_seconds=wall,
-                    error=error,
-                    trace=trace,
-                )
-            )
-        return results
+            return [_execute(p) for p in payloads]
+        ctx = multiprocessing.get_context(self.start_method)
+        with ctx.Pool(processes=min(self.workers, len(payloads))) as pool:
+            return pool.map(_execute, payloads)
+
+    @staticmethod
+    def _result_of(row):
+        index, name, report_dict, wall, error, trace, _archive = row
+        return ScenarioResult(
+            name=name,
+            index=index,
+            report=RunReport.from_dict(report_dict) if report_dict else None,
+            wall_seconds=wall,
+            error=error,
+            trace=trace,
+        )
 
     # -- batched thermal solving ----------------------------------------------
     def run_batched(self, scenarios, library=None):
@@ -149,6 +326,13 @@ class Runner:
         integration, which carries CachedLU's bounded linearization
         error (exact for linear stacks).
 
+        With a trace store, members are first deduplicated by scenario
+        digest exactly like :meth:`run`: store hits and in-batch
+        followers become :class:`~repro.trace.replay.ReplaySource`
+        members (no platform, no workload — just the recorded stream
+        driving the shared solve), leaders emulate with a capture
+        attached and are filed into the store when their group ends.
+
         Results return in input order.  ``wall_seconds`` of each member
         is its *group's* wall time (the solves are genuinely shared); a
         failure while co-stepping marks every unfinished member of that
@@ -156,7 +340,19 @@ class Runner:
         """
         scenarios = list(scenarios)
         results = [None] * len(scenarios)
+        store = self.trace_store
+        source = None
+        digests = [None] * len(scenarios)
+        if store is not None:
+            from repro.trace.store import scenario_trace_digest
+
+            source = "memory" if store.in_memory else str(store.root)
+
         groups = defaultdict(list)
+        followers = []
+        captures = {}
+        claimed = set()
+        parsed = {}
         for index, item in enumerate(scenarios):
             if isinstance(item, Scenario):
                 name = item.name
@@ -164,10 +360,36 @@ class Runner:
                 item = dict(item)
                 name = item.get("name", f"scenario{index}")
             try:  # the batch survives one bad scenario
-                scenario = (
-                    item if isinstance(item, Scenario) else Scenario.from_dict(item)
-                )
+                data = self._scenario_dict(item, index)
+                scenario = Scenario.from_dict(data)
+                parsed[index] = scenario
+                if store is not None:
+                    digests[index] = scenario_trace_digest(data)
+                    archive = store.get(digests[index])
+                    if archive is not None:
+                        from repro.trace.replay import replay_for_scenario
+
+                        player = replay_for_scenario(
+                            archive, scenario, source=source
+                        )
+                        groups[_group_key(player)].append(
+                            (index, scenario, player)
+                        )
+                        continue
+                    if digests[index] in claimed:
+                        followers.append(index)
+                        continue
+                    claimed.add(digests[index])
                 framework = scenario.build(library=library)
+                if store is not None:
+                    from repro.trace.capture import PowerTraceCapture
+
+                    captures[index] = framework.attach_capture(
+                        PowerTraceCapture()
+                    )
+                groups[_group_key(framework)].append(
+                    (index, scenario, framework)
+                )
             except Exception as exc:
                 results[index] = ScenarioResult(
                     name=name,
@@ -175,8 +397,45 @@ class Runner:
                     error=f"{type(exc).__name__}: {exc}",
                 )
                 continue
-            key = (id(framework.grid), framework.config.sampling_period_s)
-            groups[key].append((index, scenario, framework))
+        self._run_groups(groups, results, captures, store)
+
+        if followers:
+            replay_groups = defaultdict(list)
+            loaded = {}  # digest -> archive, one disk load per digest
+            for index in followers:
+                scenario = parsed[index]
+                digest = digests[index]
+                if digest not in loaded:
+                    loaded[digest] = store.get(digest)
+                archive = loaded[digest]
+                try:
+                    if archive is None:
+                        # Leader never recorded (it failed); run live —
+                        # this member's thermal side may still succeed.
+                        framework = scenario.build(library=library)
+                        replay_groups[_group_key(framework)].append(
+                            (index, scenario, framework)
+                        )
+                        continue
+                    from repro.trace.replay import replay_for_scenario
+
+                    player = replay_for_scenario(
+                        archive, scenario, source=source
+                    )
+                    replay_groups[_group_key(player)].append(
+                        (index, scenario, player)
+                    )
+                except Exception as exc:
+                    results[index] = ScenarioResult(
+                        name=scenario.name,
+                        index=index,
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
+            self._run_groups(replay_groups, results, {}, None)
+        return results
+
+    def _run_groups(self, groups, results, captures, store):
+        """Co-step every group, fill ``results``, file recordings."""
         for group in groups.values():
             start = time.perf_counter()
             completed = set()
@@ -186,26 +445,40 @@ class Runner:
             except Exception as exc:
                 error = f"{type(exc).__name__}: {exc}"
             wall = time.perf_counter() - start
-            for position, (index, scenario, framework) in enumerate(group):
+            for position, (index, scenario, runnable) in enumerate(group):
                 # A member that had already reached its bounds *before*
                 # the failing window completed normally and keeps its
                 # report; everyone else (including a member whose
                 # workload happened to finish during the window that
                 # raised) is marked failed, matching serial semantics.
                 member_error = None if position in completed else error
+                report = None
+                if not member_error:
+                    report = runnable.report()
+                    capture = captures.get(index)
+                    if capture is not None and store is not None:
+                        # Assembly errors propagate (they are bugs, and
+                        # masking them would silently disable replay);
+                        # only store I/O is best-effort.
+                        archive = capture.to_archive(
+                            runnable, scenario=scenario, report=report
+                        )
+                        try:
+                            store.put(archive)
+                        except OSError:
+                            pass  # a full disk must not fail the run
                 results[index] = ScenarioResult(
                     name=scenario.name,
                     index=index,
-                    report=None if member_error else framework.report(),
+                    report=report,
                     wall_seconds=wall,
                     error=member_error,
                     trace=(
-                        framework.trace
+                        runnable.trace
                         if self.capture_trace and not member_error
                         else None
                     ),
                 )
-        return results
 
     @staticmethod
     def _co_step(group, completed):
@@ -215,6 +488,9 @@ class Runner:
         ``completed`` (a set of group positions) is filled in-place as
         members reach their bounds at a window boundary, so the caller
         knows who finished cleanly even if a later window raises.
+        Members may be live :class:`EmulationFramework` instances or
+        :class:`~repro.trace.replay.ReplaySource` players — both speak
+        the same window protocol.
         """
         frameworks = [framework for _, _, framework in group]
         bounds = [

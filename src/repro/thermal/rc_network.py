@@ -49,6 +49,13 @@ class RCNetwork:
     #: tests assert that a sweep shared one assembly across B scenarios.
     assemblies = 0
 
+    #: content key of the structure this network was assembled from
+    #: (set by :func:`network_for`; ``None`` for direct/custom-property
+    #: builds).  Equal keys mean identical structure arrays even across
+    #: distinct prototype objects, so batch grouping can key on
+    #: configuration instead of object identity.
+    structure_key = None
+
     def __init__(self, grid):
         RCNetwork.assemblies += 1
         self.grid = grid
@@ -159,14 +166,14 @@ class RCNetwork:
         self.power = np.zeros(n)
 
     # -- power -----------------------------------------------------------------
-    def set_power(self, component_powers):
-        """Set the current sources from a ``{component: watts}`` map.
+    def watts_vector(self, component_powers):
+        """A ``{component: watts}`` map as a vector in
+        ``component_names`` order.
 
-        Power is spread over the component's covering die cells
-        proportionally to overlap area ("the heat injected by the current
-        source corresponds to the power density of the architectural
-        component covering the cell multiplied by the surface area of the
-        cell") — one sparse product ``P = M_inj @ w``.
+        Shared by :meth:`set_power` and the power-trace capture
+        (:mod:`repro.trace.capture`): replay fidelity depends on the
+        recorded vector being built exactly the way injection consumes
+        it, so there must be only one implementation.
         """
         watts = np.zeros(len(self.component_names))
         for name, value in component_powers.items():
@@ -176,7 +183,18 @@ class RCNetwork:
             if index is None:
                 raise KeyError(f"no floorplan component {name!r}")
             watts[index] = value
-        self.power = self._injection @ watts
+        return watts
+
+    def set_power(self, component_powers):
+        """Set the current sources from a ``{component: watts}`` map.
+
+        Power is spread over the component's covering die cells
+        proportionally to overlap area ("the heat injected by the current
+        source corresponds to the power density of the architectural
+        component covering the cell multiplied by the surface area of the
+        cell") — one sparse product ``P = M_inj @ w``.
+        """
+        self.power = self._injection @ self.watts_vector(component_powers)
 
     def total_power(self):
         return float(self.power.sum())
@@ -293,6 +311,7 @@ def network_for(
             spreader_resolution=spreader_resolution,
         )
         prototype = RCNetwork(grid)
+        prototype.structure_key = key
         if len(_ASSEMBLY_CACHE) >= _ASSEMBLY_CACHE_LIMIT:
             _ASSEMBLY_CACHE.pop(next(iter(_ASSEMBLY_CACHE)))
         _ASSEMBLY_CACHE[key] = prototype

@@ -1,0 +1,204 @@
+"""Content-addressed storage for recorded power traces.
+
+The store answers one question for the sweep machinery: *"has the
+emulation side of this scenario already been run?"*.  Its key is
+:func:`scenario_trace_digest` — a SHA-256 over the canonical JSON of
+exactly the scenario fields that determine the power/frequency stream
+at the dispatcher boundary:
+
+* platform architecture, workload, policy and run bounds always count;
+* cosmetic fields (``name``, ``description``) never count;
+* the **thermal-side knobs** (``grid_mode``, ``refine_critical``,
+  ``die_resolution``, ``spreader_resolution``, ``solver_backend``,
+  ``initial_temperature_kelvin``, ``trace_stride``) are excluded when
+  the policy is ``none`` — an unmanaged run's boundary stream does not
+  depend on how the SW side discretizes or solves the die, so one
+  recording serves every thermal variant (the Figure 3 / Table 2
+  sweeps).  A *reactive* policy closes the loop (temperature feeds back
+  into frequency, hence power), so for any other policy the full
+  scenario participates and only an exact re-run replays.
+
+On disk the store shards archives as
+``<root>/<digest[:2]>/<digest>.npz`` (+ JSON sidecars).  A store built
+with ``root=None`` keeps archives in memory — the runner uses that for
+single-call record-once/fan-out sweeps that need no persistence.
+"""
+
+import hashlib
+import json
+import pathlib
+
+from repro.trace.format import load_archive, sidecar_path
+
+#: Default on-disk location used by the ``python -m repro trace`` CLI.
+DEFAULT_STORE_DIR = ".repro-traces"
+
+#: FrameworkConfig fields that only the SW thermal side consumes.
+THERMAL_SIDE_KEYS = (
+    "grid_mode",
+    "refine_critical",
+    "die_resolution",
+    "spreader_resolution",
+    "solver_backend",
+    "initial_temperature_kelvin",
+    "trace_stride",
+)
+
+#: Policy names whose runs never feed temperature back into the clock.
+_OPEN_LOOP_POLICIES = ("none",)
+
+
+def _scenario_dict(scenario):
+    """The *normalized* dict form of a scenario.
+
+    Raw dicts may abbreviate (missing sections keep their defaults, a
+    policy can be a bare name), so they are round-tripped through
+    :class:`~repro.scenario.spec.Scenario` first — otherwise the same
+    experiment would hash differently depending on how it was spelled.
+    """
+    if isinstance(scenario, dict):
+        from repro.scenario.spec import Scenario
+
+        scenario = Scenario.from_dict(scenario)
+    return scenario.to_dict()
+
+
+def _policy_name(data):
+    """Policy name out of a *normalized* scenario dict."""
+    policy = data.get("policy") or {}
+    if isinstance(policy, str):
+        return policy
+    return policy.get("name", "none")
+
+
+def is_open_loop(scenario):
+    """True when the scenario's policy cannot react to temperature, so
+    its boundary stream is independent of every thermal-side knob."""
+    return _policy_name(_scenario_dict(scenario)) in _OPEN_LOOP_POLICIES
+
+
+def emulation_projection(scenario):
+    """The sub-dict of a scenario that determines its boundary stream."""
+    data = json.loads(json.dumps(_scenario_dict(scenario)))  # deep copy
+    data.pop("name", None)
+    data.pop("description", None)
+    if _policy_name(data) in _OPEN_LOOP_POLICIES and isinstance(
+        data.get("config"), dict
+    ):
+        for key in THERMAL_SIDE_KEYS:
+            data["config"].pop(key, None)
+    return data
+
+
+def scenario_trace_digest(scenario):
+    """The canonical content digest a :class:`TraceStore` keys on."""
+    projection = emulation_projection(scenario)
+    canonical = json.dumps(projection, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def content_digest(archive):
+    """Digest of an archive's own arrays + component order — the key for
+    unscripted captures that have no scenario to hash."""
+    digest = hashlib.sha256()
+    digest.update(json.dumps(list(archive.components)).encode())
+    for name in ("power_w", "frequency_hz", "time_s"):
+        digest.update(getattr(archive, name).tobytes())
+    return digest.hexdigest()
+
+
+class TraceStore:
+    """Archives by scenario digest, on disk or in memory.
+
+    ``TraceStore("path/to/dir")`` persists; ``TraceStore()`` is an
+    in-memory store whose entries die with the process (used for
+    one-call sweep fan-out).
+    """
+
+    def __init__(self, root=None):
+        self.root = pathlib.Path(root) if root is not None else None
+        self._memory = {} if root is None else None
+
+    @property
+    def in_memory(self):
+        return self.root is None
+
+    def path_for(self, digest):
+        if self.in_memory:
+            raise ValueError("an in-memory TraceStore has no paths")
+        return self.root / digest[:2] / f"{digest}.npz"
+
+    # -- lookup ------------------------------------------------------------
+    def has(self, digest):
+        if not digest:
+            return False
+        if self.in_memory:
+            return digest in self._memory
+        return self.path_for(digest).is_file()
+
+    def get(self, digest):
+        """The archive recorded under ``digest``, or ``None``."""
+        if not digest:
+            return None
+        if self.in_memory:
+            return self._memory.get(digest)
+        path = self.path_for(digest)
+        if not path.is_file():
+            return None
+        return load_archive(path)
+
+    def get_for(self, scenario):
+        """Store lookup by scenario (the runner's entry point)."""
+        return self.get(scenario_trace_digest(scenario))
+
+    # -- insertion ---------------------------------------------------------
+    def put(self, archive):
+        """File the archive under its own scenario digest; returns the
+        digest.  Re-putting an existing digest overwrites (the content
+        address makes that a no-op for identical recordings)."""
+        digest = archive.scenario_digest
+        if not digest:
+            raise ValueError(
+                "archive has no scenario digest; record through a "
+                "Scenario (or stamp metadata['scenario_digest']) first"
+            )
+        archive.validate()
+        if self.in_memory:
+            self._memory[digest] = archive
+        else:
+            archive.save(self.path_for(digest))
+        return digest
+
+    # -- enumeration -------------------------------------------------------
+    def digests(self):
+        if self.in_memory:
+            return sorted(self._memory)
+        if self.root is None or not self.root.is_dir():
+            return []
+        return sorted(
+            path.stem for path in self.root.glob("??/*.npz")
+        )
+
+    def entries(self):
+        """``[(digest, metadata dict)]`` without loading the arrays."""
+        rows = []
+        if self.in_memory:
+            return [
+                (digest, dict(self._memory[digest].metadata))
+                for digest in self.digests()
+            ]
+        for digest in self.digests():
+            side = sidecar_path(self.path_for(digest))
+            if side.is_file():
+                rows.append((digest, json.loads(side.read_text())))
+            else:  # lone .npz: fall back to the embedded copy
+                rows.append(
+                    (digest, dict(load_archive(self.path_for(digest)).metadata))
+                )
+        return rows
+
+    def __len__(self):
+        return len(self.digests())
+
+    def __contains__(self, digest):
+        return self.has(digest)

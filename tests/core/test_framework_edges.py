@@ -1,5 +1,7 @@
 """Framework edge cases: reports, initial temperature, monitoring subsets."""
 
+import math
+
 import pytest
 
 from repro.core.framework import EmulationFramework, FrameworkConfig
@@ -196,7 +198,11 @@ def test_report_before_any_window():
     report = framework.report()
     assert report.windows == 0
     assert report.emulated_seconds == 0.0
-    assert report.peak_temperature_k == 0.0
+    # NaN, not 0.0 K: a zero-window run has no temperature to report and
+    # the old 0.0 sentinel read as a real (absurd) value downstream.
+    assert math.isnan(report.peak_temperature_k)
+    assert math.isnan(report.final_temperature_k)
+    assert "n/a" in report.summary()
     assert not report.workload_done
 
 

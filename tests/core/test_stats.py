@@ -92,3 +92,50 @@ def test_ascii_chart_renders():
 def test_ascii_chart_flat_trace():
     trace = make_trace(temps=(320, 320, 320, 320))
     assert "*" in trace.ascii_chart(width=10, height=3)
+
+
+def test_empty_trace_temperatures_are_nan_not_zero_kelvin():
+    """Regression: the 0.0 K sentinel used to flow into
+    RunReport.peak_temperature_k and read as a real temperature."""
+    trace = ThermalTrace()
+    assert math.isnan(trace.peak_temperature())
+    assert math.isnan(trace.final_temperature())
+    digest = trace.digest()
+    assert digest["samples"] == 0
+    assert digest["peak_temperature_k"] is None  # NaN is not JSON
+    assert digest["final_temperature_k"] is None
+
+
+def test_sample_round_trip_is_lossless():
+    sample = TraceSample(
+        time_s=0.02,
+        frequency_hz=5e8,
+        total_power_w=4.25,
+        max_temp_k=351.5,
+        component_temps={"core0": 350.5, "mem": 320.0},
+        events=(("core0", "over-upper"),),
+    )
+    back = TraceSample.from_dict(sample.to_dict())
+    assert back == sample
+    assert isinstance(back.events, tuple)
+    assert isinstance(back.events[0], tuple)
+
+
+def test_sample_to_dict_is_json_compatible():
+    import json
+
+    sample = TraceSample(
+        time_s=0.01, frequency_hz=1e8, total_power_w=1.0, max_temp_k=300.0,
+        events=(("c", "under-lower"),),
+    )
+    encoded = json.dumps(sample.to_dict())
+    assert TraceSample.from_dict(json.loads(encoded)) == sample
+
+
+def test_trace_round_trip_preserves_every_sample():
+    trace = make_trace()
+    trace.samples[1].events = (("core0", "over-upper"),)
+    back = ThermalTrace.from_dict(trace.to_dict())
+    assert back.samples == trace.samples
+    assert back.digest() == trace.digest()
+    assert ThermalTrace.from_dict(ThermalTrace().to_dict()).samples == []

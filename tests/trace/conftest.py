@@ -1,0 +1,19 @@
+"""Shared trace-test helpers: short presets sized for fast runs."""
+
+import pytest
+
+from repro.scenario.presets import PRESETS
+
+
+def short_scenario(preset="matrix_tm_unmanaged", seconds=1.0, name=None):
+    """A bounded copy of a preset (profiled, so it runs in milliseconds)."""
+    scenario = PRESETS.get(preset)()
+    scenario.max_emulated_seconds = seconds
+    if name:
+        scenario.name = name
+    return scenario
+
+
+@pytest.fixture
+def stress_scenario():
+    return short_scenario()

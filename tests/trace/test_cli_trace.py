@@ -1,0 +1,108 @@
+"""``python -m repro trace`` end to end (record/replay/info/list)."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main as repro_main
+from repro.trace.cli import main as trace_main
+from tests.trace.conftest import short_scenario
+
+
+@pytest.fixture
+def scenario_file(tmp_path):
+    scenario = short_scenario(seconds=0.5, name="cli_trace")
+    path = tmp_path / "scenario.json"
+    path.write_text(json.dumps(scenario.to_dict()))
+    return path
+
+
+def test_record_replay_info_list_roundtrip(tmp_path, scenario_file, capsys):
+    store = tmp_path / "store"
+    assert trace_main(["record", str(scenario_file), "--store", str(store)]) == 0
+    recorded = capsys.readouterr().out
+    assert "recorded 50 windows" in recorded
+    digest = recorded.strip().splitlines()[-1].split()[-1]
+    assert len(digest) == 64
+
+    assert trace_main(["list", "--store", str(store)]) == 0
+    listing = capsys.readouterr().out
+    assert digest[:16] in listing and "cli_trace" in listing
+
+    assert trace_main(["info", digest[:12], "--store", str(store)]) == 0
+    info = capsys.readouterr().out
+    assert "50 windows" in info and "cli_trace" in info
+
+    assert trace_main(
+        ["replay", digest[:12], "--store", str(store), "--check-digest"]
+    ) == 0
+    replayed = capsys.readouterr().out
+    assert "matches the recorded live run" in replayed
+
+
+def test_record_to_explicit_output_and_replay_by_path(
+    tmp_path, scenario_file, capsys
+):
+    out = tmp_path / "run.npz"
+    assert trace_main(["record", str(scenario_file), "-o", str(out)]) == 0
+    capsys.readouterr()
+    assert out.is_file() and out.with_suffix(".json").is_file()
+    assert trace_main(["replay", str(out), "--check-digest"]) == 0
+
+
+def test_replay_with_overrides_reports_mismatch(tmp_path, scenario_file,
+                                                capsys):
+    out = tmp_path / "run.npz"
+    trace_main(["record", str(scenario_file), "-o", str(out)])
+    capsys.readouterr()
+    code = trace_main([
+        "replay", str(out), "--grid-mode", "uniform",
+        "--die-resolution", "12x12", "--spreader-resolution", "12x12",
+        "--check-digest",
+    ])
+    assert code == 1  # a different discretization cannot match bit-for-bit
+    captured = capsys.readouterr()
+    assert "digest mismatch" in captured.err
+
+
+def test_replay_json_output(tmp_path, scenario_file, capsys):
+    out = tmp_path / "run.npz"
+    trace_main(["record", str(scenario_file), "-o", str(out), "--json"])
+    recorded = json.loads(capsys.readouterr().out)
+    assert recorded["windows"] == 50
+    assert trace_main(["replay", str(out), "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["digest_matches"] is True
+    assert payload["trace_digest"] == payload["recorded_digest"]
+
+
+def test_record_preset_through_main_entrypoint(tmp_path, capsys):
+    code = repro_main([
+        "trace", "record", "matrix_quickstart",
+        "--store", str(tmp_path / "store"),
+    ])
+    assert code == 0
+    assert "digest" in capsys.readouterr().out
+
+
+def test_unknown_reference_fails_cleanly(tmp_path, capsys):
+    assert trace_main(
+        ["replay", "deadbeef", "--store", str(tmp_path)]
+    ) == 2
+    assert "error:" in capsys.readouterr().err
+    assert trace_main(["record", "not_a_preset"]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_record_rejects_suites(tmp_path, capsys):
+    suite = tmp_path / "suite.json"
+    suite.write_text(json.dumps(
+        {"name": "s", "scenarios": [short_scenario().to_dict()]}
+    ))
+    assert trace_main(["record", str(suite)]) == 2
+    assert "one scenario" in capsys.readouterr().err
+
+
+def test_empty_store_listing(tmp_path, capsys):
+    assert trace_main(["list", "--store", str(tmp_path / "void")]) == 0
+    assert "no traces" in capsys.readouterr().out
