@@ -1,0 +1,231 @@
+"""Farm throughput: cold fleet vs warm store vs idempotent resubmission.
+
+The run-farm's value proposition is the same record-once/replay-many
+economics as :mod:`repro.trace`, but fleet-wide and crash-safe.  This
+bench drains a 16-variant structure-sharing sweep (one unique
+boundary-stream digest) through a 4-worker :class:`LocalFarm` three
+ways:
+
+* **cold** — empty queue + empty store: one worker wins the digest
+  lease and emulates; the other fifteen jobs replay from the shared
+  store as they are claimed;
+* **warm store** — a fresh queue over the already-populated store:
+  every job replays, no live emulation at all;
+* **resubmission** — the same scenarios filed again on the original
+  queue: idempotent job IDs mean every job is answered from its DONE
+  record without any worker touching it.
+
+Timings land in ``benchmarks/results/BENCH_farm.json`` (machine
+readable) next to the rendered table.
+
+Check mode (``python benchmarks/bench_farm.py --check``) skips the
+timing and exercises the HTTP deployment shape instead: serve a
+:class:`FarmService`, submit a 4-scenario sweep through
+:class:`FarmClient`, drain it with client-attached workers, and assert
+every job is DONE with store-dedup provenance (exactly one live
+emulation).  CI runs this as the farm smoke job.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+import tempfile
+import time
+
+from repro.farm import FarmClient, FarmService, FarmWorker, JobQueue, LocalFarm
+from repro.scenario.presets import PRESETS
+from repro.scenario.sweep import Variant, sweep
+from repro.trace.store import TraceStore
+from repro.util.records import Table
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def bounded_preset(seconds, name):
+    scenario = PRESETS.get("matrix_tm_unmanaged")()
+    scenario.max_emulated_seconds = seconds
+    scenario.name = name
+    return scenario
+
+
+def sixteen_variants(seconds=2.0):
+    """16 thermal-side variants of one run: a single unique digest."""
+    return sweep(
+        bounded_preset(seconds, "farm_bench"),
+        {
+            "config.die_resolution": [
+                Variant(f"{n}x{n}", [n, n]) for n in (4, 6, 8, 10)
+            ],
+            "config.spreader_resolution": [
+                Variant(f"sp{n}", [n, n]) for n in (2, 3)
+            ],
+            "config.solver_backend": ["sparse_be", "cached_lu"],
+        },
+    )
+
+
+def modes(jobs):
+    emulated = sum(1 for j in jobs if j.provenance["mode"] == "emulated")
+    return emulated, len(jobs) - emulated
+
+
+def write_json(payload):
+    try:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / "BENCH_farm.json"
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        return path
+    except OSError:
+        return None
+
+
+def run_bench(workers=4):
+    members = sixteen_variants()
+    with tempfile.TemporaryDirectory(prefix="repro-bench-farm-") as tmp:
+        base = pathlib.Path(tmp)
+
+        start = time.perf_counter()
+        with LocalFarm(base / "cold", workers=workers) as cold_farm:
+            cold = cold_farm.run(members, timeout=600.0)
+        cold_wall = time.perf_counter() - start
+        assert all(j.state == "done" for j in cold), "cold run failed"
+
+        # Fresh queue, warm store: every job replays.
+        warm_farm = LocalFarm(
+            base / "warm", workers=workers,
+            store_dir=cold_farm.store_root,
+        )
+        start = time.perf_counter()
+        with warm_farm:
+            warm = warm_farm.run(members, timeout=600.0)
+        warm_wall = time.perf_counter() - start
+        assert all(j.state == "done" for j in warm), "warm run failed"
+
+        # Resubmission on the cold queue: answered from the DONE records.
+        start = time.perf_counter()
+        again = cold_farm.queue.submit_many(members)
+        resubmit_wall = time.perf_counter() - start
+        assert all(j.state == "done" for j in again), "resubmission re-ran"
+
+    rows = [
+        ("cold farm (empty store)", *modes(cold), cold_wall),
+        ("warm store (fresh queue)", *modes(warm), warm_wall),
+        ("resubmission (answered from record)", 0, 0, resubmit_wall),
+    ]
+    table = Table(
+        ["strategy", "emulations", "replays", "wall (s)", "speedup"],
+        title=f"{len(members)}-variant structure-sharing sweep through a "
+        f"{workers}-worker farm",
+    )
+    for label, emulated, replayed, wall in rows:
+        table.add_row(
+            label, emulated, replayed, f"{wall:.2f}",
+            f"{cold_wall / wall:.1f}x" if wall > 0 else "inf",
+        )
+    text = table.render()
+    print(text)
+
+    payload = {
+        "bench": "farm",
+        "workers": workers,
+        "variants": len(members),
+        "unique_digests": len({j.trace_digest for j in cold}),
+        "strategies": {
+            "cold": {"emulated": rows[0][1], "replayed": rows[0][2],
+                     "wall_s": cold_wall},
+            "warm_store": {"emulated": rows[1][1], "replayed": rows[1][2],
+                           "wall_s": warm_wall},
+            "resubmission": {"wall_s": resubmit_wall},
+        },
+    }
+    path = write_json(payload)
+    try:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / "bench_farm.txt").write_text(text + "\n")
+    except OSError:
+        pass
+    if path:
+        print(f"\nwrote {path}")
+
+    if rows[0][1] != payload["unique_digests"]:
+        print(f"WARNING: cold run emulated {rows[0][1]} times for "
+              f"{payload['unique_digests']} unique digest(s)")
+        return 1
+    if rows[1][1] != 0:
+        print("WARNING: warm-store run performed a live emulation")
+        return 1
+    return 0
+
+
+def run_check():
+    """CI smoke: HTTP service + client + workers, dedup asserted."""
+    members = sweep(
+        bounded_preset(0.5, "farm_smoke"),
+        {"config.die_resolution": [
+            Variant(f"{n}x{n}", [n, n]) for n in (4, 6, 8, 10)
+        ]},
+    )
+    assert len(members) == 4
+    with tempfile.TemporaryDirectory(prefix="repro-farm-smoke-") as tmp:
+        base = pathlib.Path(tmp)
+        store = TraceStore(base / "store")
+        queue = JobQueue(base / "queue", store=store, heartbeat_timeout=10.0)
+        with FarmService(queue) as service:
+            client = FarmClient(service.url)
+            jobs = client.submit(members)
+            if len(jobs) != 4:
+                print(f"FAIL: submitted 4, queue recorded {len(jobs)}")
+                return 1
+            for i in range(2):
+                FarmWorker(
+                    client, store=store, worker_id=f"smoke-{i}",
+                    stop_when_idle=True, poll_s=0.01,
+                ).run_forever()
+            finished = client.wait([j.job_id for j in jobs], timeout=60.0)
+        records = [finished[j.job_id] for j in jobs]
+        not_done = [r for r in records if r.state != "done"]
+        if not_done:
+            print(f"FAIL: {len(not_done)} job(s) not done: "
+                  f"{[(r.name, r.state, r.error) for r in not_done]}")
+            return 1
+        emulated, replayed = modes(records)
+        digests = {r.trace_digest for r in records}
+        if emulated != len(digests):
+            print(f"FAIL: {emulated} live emulations for "
+                  f"{len(digests)} unique digest(s)")
+            return 1
+        if len(store) != len(digests):
+            print(f"FAIL: store holds {len(store)} recordings, "
+                  f"expected {len(digests)}")
+            return 1
+    write_json({
+        "bench": "farm", "mode": "check", "jobs": len(records),
+        "emulated": emulated, "replayed": replayed,
+        "unique_digests": len(digests),
+    })
+    print(
+        f"OK: 4-scenario sweep over HTTP drained by 2 workers; "
+        f"{emulated} live emulation for {len(digests)} unique digest, "
+        f"{replayed} replays from the shared store"
+    )
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Run-farm throughput bench (cold/warm/resubmission)."
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="skip timing; serve a FarmService, submit a 4-scenario "
+        "sweep via FarmClient and assert store-dedup provenance "
+        "(CI mode)",
+    )
+    parser.add_argument("--workers", type=int, default=4)
+    args = parser.parse_args(argv)
+    return run_check() if args.check else run_bench(workers=args.workers)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

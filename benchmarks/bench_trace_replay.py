@@ -19,6 +19,8 @@ timing flakiness.
 """
 
 import argparse
+import json
+import pathlib
 import sys
 import time
 
@@ -90,7 +92,19 @@ def run_check():
     return 0
 
 
-def run_bench():
+def write_json(payload):
+    """Persist machine-readable results as BENCH_trace_replay.json."""
+    try:
+        results_dir = pathlib.Path(__file__).parent / "results"
+        results_dir.mkdir(exist_ok=True)
+        path = results_dir / "BENCH_trace_replay.json"
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        return path
+    except OSError:
+        return None
+
+
+def run_bench(emit_json=False):
     sweep_members = variants()
 
     start = time.perf_counter()
@@ -137,13 +151,27 @@ def run_bench():
     text = f"{table.render()}\n{note}"
     print(text)
     try:
-        import pathlib
-
         results_dir = pathlib.Path(__file__).parent / "results"
         results_dir.mkdir(exist_ok=True)
         (results_dir / "bench_trace_replay.txt").write_text(text + "\n")
     except OSError:
         pass
+    if emit_json:
+        path = write_json({
+            "bench": "trace_replay",
+            "variants": len(sweep_members),
+            "full_reemulation": {
+                "emulations": len(sweep_members), "wall_s": live_wall,
+            },
+            "record_once_replay": {
+                "emulations": len(sweep_members) - replays,
+                "replays": replays, "wall_s": replay_wall,
+            },
+            "speedup": speedup,
+            "max_peak_drift_k": drift,
+        })
+        if path:
+            print(f"wrote {path}")
     if speedup < 5.0:
         print(f"WARNING: speedup {speedup:.1f}x below the 5x target")
         return 1
@@ -159,8 +187,12 @@ def main(argv=None):
         help="skip timing; assert record->replay digest equivalence "
         "and the fan-out bookkeeping (CI mode)",
     )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="also write benchmarks/results/BENCH_trace_replay.json",
+    )
     args = parser.parse_args(argv)
-    return run_check() if args.check else run_bench()
+    return run_check() if args.check else run_bench(emit_json=args.json)
 
 
 if __name__ == "__main__":

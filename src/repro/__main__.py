@@ -10,6 +10,7 @@ Usage::
     python -m repro report [--artifact NAME] [--check]
     python -m repro policies [--verbose] [--json]
     python -m repro trace record|replay|info|list ...
+    python -m repro farm serve|submit|status|workers|work ...
 
 A spec file holds either one scenario (``Scenario.to_dict()`` form) or a
 suite (``{"name": ..., "scenarios": [...]}``); every run prints the
@@ -101,6 +102,11 @@ def main(argv=None):
         from repro.trace.cli import main as trace_main
 
         return trace_main(argv[1:])
+    if argv and argv[0] == "farm":
+        # The distributed run-farm (repro.farm) has its own flags.
+        from repro.farm.cli import main as farm_main
+
+        return farm_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro",

@@ -1,0 +1,168 @@
+"""HTTP client for a running :class:`~repro.farm.service.FarmService`.
+
+:class:`FarmClient` mirrors the :class:`~repro.farm.queue.JobQueue`
+protocol over the wire — ``submit / claim / heartbeat / complete /
+fail / drained / register_worker`` — so a
+:class:`~repro.farm.worker.FarmWorker` can attach to a remote farm
+exactly like a local queue directory, and any PR 1 sweep or
+:class:`~repro.scenario.sweep.ExperimentSuite` submits through
+``client.submit(sweep(...))`` unchanged (scenarios travel as their
+lossless ``to_dict()`` JSON).
+
+Only the standard library is used (``urllib.request``); errors the
+service reports come back as :class:`FarmClientError` with the HTTP
+status attached.
+"""
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+from repro.farm.jobs import Job
+
+
+class FarmClientError(RuntimeError):
+    """The service refused a request (or was unreachable)."""
+
+    def __init__(self, message, status=None):
+        super().__init__(message)
+        self.status = status
+
+
+class FarmClient:
+    """A thin JSON-over-HTTP proxy for one farm service."""
+
+    def __init__(self, url, timeout=30.0):
+        self.url = url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport ---------------------------------------------------------
+    def _request(self, method, path, payload=None):
+        body = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            body = json.dumps(payload).encode()
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            f"{self.url}{path}", data=body, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as rsp:
+                return json.loads(rsp.read())
+        except urllib.error.HTTPError as exc:
+            try:
+                detail = json.loads(exc.read()).get("error", str(exc))
+            except (json.JSONDecodeError, OSError):
+                detail = str(exc)
+            raise FarmClientError(detail, status=exc.code) from None
+        except urllib.error.URLError as exc:
+            raise FarmClientError(
+                f"farm service unreachable at {self.url}: {exc.reason}"
+            ) from None
+
+    @staticmethod
+    def _scenario_dict(scenario):
+        return scenario if isinstance(scenario, dict) else scenario.to_dict()
+
+    # -- submission & inspection -------------------------------------------
+    def submit(self, scenarios, **options):
+        """Submit one scenario or a list; returns ``list[Job]`` (the
+        service's records — an already-known scenario comes back as its
+        existing, possibly finished, job)."""
+        if not isinstance(scenarios, (list, tuple)):
+            scenarios = [scenarios]
+        payload = dict(options)
+        payload["scenarios"] = [self._scenario_dict(s) for s in scenarios]
+        data = self._request("POST", "/api/jobs", payload)
+        return [Job.from_dict(row) for row in data["jobs"]]
+
+    def job(self, job_id):
+        """One full job record, or ``None``."""
+        try:
+            data = self._request("GET", f"/api/jobs/{job_id}")
+        except FarmClientError as exc:
+            if exc.status == 404:
+                return None
+            raise
+        return Job.from_dict(data["job"])
+
+    def jobs(self, state=None):
+        path = "/api/jobs" + (f"?state={state}" if state else "")
+        return [Job.from_dict(row) for row in self._request("GET", path)["jobs"]]
+
+    def status(self):
+        return self._request("GET", "/api/status")
+
+    def workers(self):
+        return self._request("GET", "/api/workers")["workers"]
+
+    def wait(self, job_ids=None, timeout=120.0, poll_s=0.25):
+        """Poll until every named job (default: all known jobs) reaches
+        a terminal state; returns ``{job_id: Job}``.  Raises
+        :class:`TimeoutError` with the stragglers listed."""
+        deadline = time.monotonic() + timeout
+        while True:
+            jobs = {job.job_id: job for job in self.jobs()}
+            if job_ids is not None:
+                jobs = {jid: jobs[jid] for jid in job_ids if jid in jobs}
+            pending = [j.job_id for j in jobs.values() if not j.terminal]
+            if job_ids is not None:
+                pending += [jid for jid in job_ids if jid not in jobs]
+            if not pending:
+                return jobs
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"{len(pending)} job(s) still unfinished after "
+                    f"{timeout:g} s: {', '.join(sorted(pending)[:5])}"
+                )
+            time.sleep(poll_s)
+
+    # -- the worker-side protocol ------------------------------------------
+    def register_worker(self, worker_id, capabilities=()):
+        return self._request(
+            "POST", "/api/workers",
+            {"worker": worker_id, "capabilities": list(capabilities or ())},
+        )
+
+    def worker_heartbeat(self, worker_id, jobs_done=None):
+        return self._request(
+            "POST", "/api/workers",
+            {"worker": worker_id, "jobs_done": jobs_done},
+        )
+
+    def claim(self, worker, capabilities=None):
+        data = self._request(
+            "POST", "/api/claim",
+            {
+                "worker": worker,
+                "capabilities": (
+                    None if capabilities is None else list(capabilities)
+                ),
+            },
+        )
+        return Job.from_dict(data["job"]) if data.get("job") else None
+
+    def heartbeat(self, job_id, worker):
+        data = self._request(
+            "POST", f"/api/jobs/{job_id}/heartbeat", {"worker": worker}
+        )
+        return bool(data.get("owned"))
+
+    def complete(self, job_id, result, worker=None):
+        data = self._request(
+            "POST", f"/api/jobs/{job_id}/complete",
+            {"worker": worker, "result": result},
+        )
+        return Job.from_dict(data["job"]) if data.get("job") else None
+
+    def fail(self, job_id, error, traceback=None, worker=None):
+        data = self._request(
+            "POST", f"/api/jobs/{job_id}/fail",
+            {"worker": worker, "error": error, "traceback": traceback},
+        )
+        return Job.from_dict(data["job"]) if data.get("job") else None
+
+    def drained(self):
+        counts = self.status()["jobs"]
+        return counts.get("submitted", 0) == 0 and counts.get("running", 0) == 0

@@ -1,0 +1,178 @@
+"""Job records — the unit of work a run-farm schedules.
+
+A :class:`Job` wraps one normalized scenario dict (the lossless
+``Scenario.to_dict()`` form every other subsystem already speaks) with
+the queue bookkeeping the farm needs: lifecycle state, priority,
+capability tags, retry/backoff counters, heartbeat timestamps and a
+structured failure history.
+
+Job identity is *content-derived*: :func:`job_id_for` hashes the
+canonical JSON of the normalized scenario, so resubmitting an
+identical scenario lands on the same job — the queue answers from the
+existing record instead of re-running (idempotent submission).  Each
+job also carries its :func:`~repro.trace.store.scenario_trace_digest`,
+the key the shared :class:`~repro.trace.store.TraceStore` dedupes
+emulations on: many jobs may share one trace digest (thermal-side
+variants of one boundary stream) while keeping distinct job IDs.
+"""
+
+import copy
+import hashlib
+import json
+from dataclasses import dataclass, field
+
+#: Lifecycle states a job moves through.
+SUBMITTED = "submitted"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+
+STATES = (SUBMITTED, RUNNING, DONE, FAILED)
+
+#: States with nothing left to do.
+TERMINAL_STATES = (DONE, FAILED)
+
+
+def normalize_scenario(scenario):
+    """A scenario (object or possibly abbreviated dict) as its full
+    normalized dict form — the only form jobs store and hash."""
+    from repro.scenario.spec import Scenario
+
+    if isinstance(scenario, dict):
+        scenario = Scenario.from_dict(scenario)
+    return scenario.to_dict()
+
+
+def job_id_for(scenario):
+    """The idempotent job ID of a scenario: a SHA-256 prefix over its
+    canonical normalized JSON.  Same experiment, same ID — regardless
+    of dict abbreviation or submission order."""
+    data = normalize_scenario(scenario)
+    canonical = json.dumps(data, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
+
+@dataclass
+class Job:
+    """One queued scenario run and everything the farm knows about it."""
+
+    job_id: str
+    scenario: dict
+    trace_digest: str | None = None
+    priority: int = 0
+    tags: tuple = ()
+    state: str = SUBMITTED
+    attempts: int = 0
+    max_retries: int = 2
+    retry_backoff_s: float = 0.5
+    not_before: float = 0.0
+    submitted_at: float = 0.0
+    started_at: float | None = None
+    finished_at: float | None = None
+    heartbeat_at: float | None = None
+    worker: str | None = None
+    requeues: int = 0
+    history: list = field(default_factory=list)
+    result: dict | None = None
+
+    @classmethod
+    def create(cls, scenario, now, priority=0, tags=(), max_retries=2,
+               retry_backoff_s=0.5):
+        """A fresh SUBMITTED job for one scenario (object or dict)."""
+        from repro.trace.store import scenario_trace_digest
+
+        data = normalize_scenario(scenario)
+        return cls(
+            job_id=job_id_for(data),
+            scenario=data,
+            trace_digest=scenario_trace_digest(data),
+            priority=int(priority),
+            tags=tuple(tags),
+            max_retries=int(max_retries),
+            retry_backoff_s=float(retry_backoff_s),
+            submitted_at=float(now),
+        )
+
+    # -- derived views -----------------------------------------------------
+    @property
+    def name(self):
+        return self.scenario.get("name", self.job_id)
+
+    @property
+    def terminal(self):
+        return self.state in TERMINAL_STATES
+
+    @property
+    def provenance(self):
+        """The worker-stamped ``extras["farm"]`` of the finished run
+        (``{}`` until the job is done) — job ID, worker, attempt and
+        whether the trace was emulated live or answered from the store."""
+        report = (self.result or {}).get("report") or {}
+        return dict((report.get("extras") or {}).get("farm") or {})
+
+    @property
+    def error(self):
+        """The most recent recorded failure message, or ``None``."""
+        for entry in reversed(self.history):
+            if entry.get("event") == "failed":
+                return entry.get("error")
+        return None
+
+    def claimable(self, now, capabilities=None):
+        """True when the job is runnable at ``now`` by a worker holding
+        ``capabilities`` (``None`` accepts any tag set)."""
+        if self.state != SUBMITTED or self.not_before > now:
+            return False
+        if capabilities is None:
+            return True
+        return set(self.tags) <= set(capabilities)
+
+    def sort_key(self):
+        """Claim order: priority first (higher sooner), then FIFO."""
+        return (-self.priority, self.submitted_at, self.job_id)
+
+    # -- serialization -----------------------------------------------------
+    def to_dict(self):
+        return {
+            "job_id": self.job_id,
+            "scenario": copy.deepcopy(self.scenario),
+            "trace_digest": self.trace_digest,
+            "priority": self.priority,
+            "tags": list(self.tags),
+            "state": self.state,
+            "attempts": self.attempts,
+            "max_retries": self.max_retries,
+            "retry_backoff_s": self.retry_backoff_s,
+            "not_before": self.not_before,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "heartbeat_at": self.heartbeat_at,
+            "worker": self.worker,
+            "requeues": self.requeues,
+            "history": copy.deepcopy(self.history),
+            "result": copy.deepcopy(self.result),
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        data = dict(data)
+        data["tags"] = tuple(data.get("tags") or ())
+        data["history"] = list(data.get("history") or [])
+        return cls(**data)
+
+    def summary(self):
+        """One status line (``farm status``)."""
+        parts = [f"{self.job_id}  {self.state:9s}  {self.name}"]
+        if self.state == RUNNING and self.worker:
+            parts.append(f"on {self.worker}")
+        if self.attempts:
+            parts.append(f"attempts {self.attempts}")
+        if self.requeues:
+            parts.append(f"requeues {self.requeues}")
+        mode = self.provenance.get("mode")
+        if mode:
+            parts.append(mode)
+        if self.state == FAILED and self.error:
+            parts.append(f"error: {self.error}")
+        return "  ".join(parts)

@@ -1,0 +1,351 @@
+"""The persistent, multi-process job queue at the heart of the farm.
+
+A :class:`JobQueue` lives in a directory tree::
+
+    <root>/
+      queue.lock            # one advisory lock serializes transitions
+      jobs/<job_id>.json    # one atomic-rename'd record per job
+      workers/<id>.json     # worker registry (capabilities, heartbeats)
+
+Every state transition (submit, claim, heartbeat, complete, fail,
+stale requeue) happens under the queue lock and lands on disk through
+an atomic rename, so any number of worker *processes* — or service
+threads — can share one queue without a database.  Readers never take
+the lock: a job file is always a complete JSON document.
+
+Scheduling semantics:
+
+* **Idempotent submission** — a job's ID is derived from its scenario
+  content (:func:`~repro.farm.jobs.job_id_for`); resubmitting an
+  identical scenario returns the existing record, including a finished
+  one (the sweep is answered from the store, not re-run).
+* **Priorities** — higher ``priority`` claims first; ties are FIFO.
+* **Digest leases** — jobs sharing a
+  :func:`~repro.trace.store.scenario_trace_digest` are thermal-side
+  variants of one boundary stream.  While a job whose digest is not
+  yet in the shared :class:`~repro.trace.store.TraceStore` is running
+  (the *leader*, emulating and recording), other jobs with the same
+  digest are deferred; once the recording lands they claim freely and
+  replay.  A fleet therefore performs exactly one live emulation per
+  unique digest.
+* **Retry with backoff** — a failed attempt requeues the job with
+  ``not_before = now + retry_backoff_s * 2**(attempts-1)`` until
+  ``max_retries`` is exhausted, keeping a structured failure log.
+* **Heartbeat-timeout requeue** — a running job whose worker stops
+  heartbeating for ``heartbeat_timeout`` seconds is handed back to
+  SUBMITTED on the next claim (or explicit :meth:`requeue_stale`), so
+  killing a worker mid-job loses nothing.
+
+All time-dependent methods accept ``now`` for deterministic tests and
+default to ``time.time()``.
+"""
+
+import json
+import pathlib
+import time
+
+from repro.farm.jobs import (
+    DONE,
+    FAILED,
+    RUNNING,
+    STATES,
+    SUBMITTED,
+    Job,
+    job_id_for,
+)
+from repro.util.locking import FileLock, atomic_write_json
+
+#: Default queue directory used by the ``python -m repro farm`` CLI.
+DEFAULT_QUEUE_DIR = ".repro-farm"
+
+
+class JobQueue:
+    """A directory-backed job queue safe for concurrent processes.
+
+    ``store`` (a :class:`~repro.trace.store.TraceStore` or a path) lets
+    the queue make digest-lease decisions: without one, any two jobs
+    sharing a trace digest are serialized; with one, jobs whose digest
+    is already recorded bypass the lease and run concurrently (they
+    will replay, not emulate).
+    """
+
+    def __init__(self, root, store=None, heartbeat_timeout=10.0):
+        self.root = pathlib.Path(root)
+        self.jobs_dir = self.root / "jobs"
+        self.workers_dir = self.root / "workers"
+        self.jobs_dir.mkdir(parents=True, exist_ok=True)
+        self.workers_dir.mkdir(parents=True, exist_ok=True)
+        if store is not None:
+            from repro.trace.store import TraceStore
+
+            if not isinstance(store, TraceStore):
+                store = TraceStore(store)
+        self.store = store
+        self.heartbeat_timeout = float(heartbeat_timeout)
+        self._lock = FileLock(self.root / "queue.lock")
+
+    # -- persistence -------------------------------------------------------
+    def _job_path(self, job_id):
+        return self.jobs_dir / f"{job_id}.json"
+
+    def _save(self, job):
+        atomic_write_json(self._job_path(job.job_id), job.to_dict())
+        return job
+
+    def get(self, job_id):
+        """The job record, or ``None`` (lock-free: files are atomic)."""
+        path = self._job_path(job_id)
+        try:
+            return Job.from_dict(json.loads(path.read_text()))
+        except (OSError, json.JSONDecodeError):
+            return None
+
+    def jobs(self, state=None):
+        """All jobs (optionally one ``state``), in claim order."""
+        if state is not None and state not in STATES:
+            raise ValueError(f"unknown job state {state!r} (one of {STATES})")
+        rows = []
+        for path in sorted(self.jobs_dir.glob("*.json")):
+            job = self.get(path.stem)
+            if job is not None and (state is None or job.state == state):
+                rows.append(job)
+        return sorted(rows, key=Job.sort_key)
+
+    def counts(self):
+        """``{state: count}`` over every known job."""
+        counts = dict.fromkeys(STATES, 0)
+        for job in self.jobs():
+            counts[job.state] += 1
+        return counts
+
+    def drained(self):
+        """True when no job is submitted or running — every worker with
+        ``stop_when_idle`` may exit."""
+        counts = self.counts()
+        return counts[SUBMITTED] == 0 and counts[RUNNING] == 0
+
+    # -- submission --------------------------------------------------------
+    def submit(self, scenario, priority=0, tags=(), max_retries=2,
+               retry_backoff_s=0.5, retry_failed=False, now=None):
+        """File one scenario; returns the :class:`Job` (new or the
+        existing record when the same scenario was already submitted).
+
+        ``retry_failed=True`` resurrects a terminally FAILED record of
+        the same scenario back to SUBMITTED with fresh retry budget.
+        """
+        now = time.time() if now is None else now
+        job_id = job_id_for(scenario)
+        with self._lock:
+            existing = self.get(job_id)
+            if existing is not None:
+                if retry_failed and existing.state == FAILED:
+                    existing.state = SUBMITTED
+                    existing.attempts = 0
+                    existing.not_before = 0.0
+                    existing.worker = None
+                    existing.history.append(
+                        {"event": "resubmitted", "at": now}
+                    )
+                    return self._save(existing)
+                return existing
+            job = Job.create(
+                scenario, now, priority=priority, tags=tags,
+                max_retries=max_retries, retry_backoff_s=retry_backoff_s,
+            )
+            return self._save(job)
+
+    def submit_many(self, scenarios, **kwargs):
+        return [self.submit(scenario, **kwargs) for scenario in scenarios]
+
+    # -- claiming ----------------------------------------------------------
+    def requeue_stale(self, now=None):
+        """Hand back RUNNING jobs whose worker stopped heartbeating;
+        returns the requeued job IDs.  Called implicitly by every
+        :meth:`claim`, so a farm self-heals without a reaper daemon."""
+        now = time.time() if now is None else now
+        with self._lock:
+            return self._requeue_stale_locked(now)
+
+    def _requeue_stale_locked(self, now):
+        requeued = []
+        for job in self.jobs(RUNNING):
+            beat = job.heartbeat_at or job.started_at or job.submitted_at
+            if beat + self.heartbeat_timeout <= now:
+                job.history.append({
+                    "event": "requeued",
+                    "worker": job.worker,
+                    "last_heartbeat": beat,
+                    "at": now,
+                })
+                job.state = SUBMITTED
+                job.worker = None
+                job.heartbeat_at = None
+                job.requeues += 1
+                self._save(job)
+                requeued.append(job.job_id)
+        return requeued
+
+    def claim(self, worker, capabilities=None, now=None):
+        """Exclusively claim the best runnable job for ``worker``, or
+        ``None``.  Stale running jobs are requeued first; digest-leased
+        jobs (another running job will record their trace) are skipped.
+        """
+        now = time.time() if now is None else now
+        with self._lock:
+            self._requeue_stale_locked(now)
+            jobs = self.jobs()
+            leased = {
+                job.trace_digest
+                for job in jobs
+                if job.state == RUNNING and job.trace_digest
+            }
+            for job in jobs:  # already in claim order
+                if not job.claimable(now, capabilities):
+                    continue
+                if job.trace_digest in leased and not (
+                    self.store is not None and self.store.has(job.trace_digest)
+                ):
+                    continue  # wait for the leader's recording
+                job.state = RUNNING
+                job.worker = worker
+                job.started_at = now
+                job.heartbeat_at = now
+                return self._save(job)
+        return None
+
+    def heartbeat(self, job_id, worker, now=None):
+        """Record a liveness beat; returns ``False`` when the worker no
+        longer owns the job (it was requeued and reclaimed) — the
+        worker should abandon its in-flight run."""
+        now = time.time() if now is None else now
+        with self._lock:
+            job = self.get(job_id)
+            if job is None or job.state != RUNNING or job.worker != worker:
+                return False
+            job.heartbeat_at = now
+            self._save(job)
+        self.worker_heartbeat(worker, now=now)
+        return True
+
+    # -- completion --------------------------------------------------------
+    def complete(self, job_id, result, worker=None, now=None):
+        """Mark a job DONE with its serialized
+        :class:`~repro.scenario.runner.ScenarioResult`.  A stale owner
+        (the job was requeued under it) is refused — only the current
+        owner's completion counts.  Returns the job or ``None``."""
+        now = time.time() if now is None else now
+        with self._lock:
+            job = self.get(job_id)
+            if job is None or job.terminal:
+                return None
+            if worker is not None and job.state == RUNNING \
+                    and job.worker != worker:
+                return None
+            job.state = DONE
+            job.result = result
+            job.finished_at = now
+            job.attempts += 1
+            return self._save(job)
+
+    def fail(self, job_id, error, traceback=None, worker=None, now=None):
+        """Record a failed attempt.  The job retries with exponential
+        backoff until ``max_retries`` attempts are burned, then parks
+        in FAILED; every attempt leaves a structured history entry."""
+        now = time.time() if now is None else now
+        with self._lock:
+            job = self.get(job_id)
+            if job is None or job.terminal:
+                return None
+            if worker is not None and job.state == RUNNING \
+                    and job.worker != worker:
+                return None
+            job.attempts += 1
+            job.history.append({
+                "event": "failed",
+                "attempt": job.attempts,
+                "worker": worker or job.worker,
+                "error": error,
+                "traceback": traceback,
+                "at": now,
+            })
+            job.worker = None
+            job.heartbeat_at = None
+            if job.attempts > job.max_retries:
+                job.state = FAILED
+                job.finished_at = now
+            else:
+                job.state = SUBMITTED
+                job.not_before = (
+                    now + job.retry_backoff_s * 2 ** (job.attempts - 1)
+                )
+            return self._save(job)
+
+    # -- worker registry ---------------------------------------------------
+    def _worker_path(self, worker_id):
+        return self.workers_dir / f"{worker_id}.json"
+
+    def register_worker(self, worker_id, capabilities=(), now=None):
+        """Announce a worker and its capability tags."""
+        now = time.time() if now is None else now
+        record = {
+            "worker": worker_id,
+            "capabilities": sorted(capabilities or ()),
+            "registered_at": now,
+            "heartbeat_at": now,
+            "jobs_done": 0,
+        }
+        existing = self._read_worker(worker_id)
+        if existing:
+            record["registered_at"] = existing.get("registered_at", now)
+            record["jobs_done"] = existing.get("jobs_done", 0)
+        atomic_write_json(self._worker_path(worker_id), record)
+        return record
+
+    def worker_heartbeat(self, worker_id, now=None, jobs_done=None):
+        now = time.time() if now is None else now
+        record = self._read_worker(worker_id) or {
+            "worker": worker_id, "capabilities": [], "registered_at": now,
+            "jobs_done": 0,
+        }
+        record["heartbeat_at"] = now
+        if jobs_done is not None:
+            record["jobs_done"] = jobs_done
+        atomic_write_json(self._worker_path(worker_id), record)
+        return record
+
+    def _read_worker(self, worker_id):
+        try:
+            return json.loads(self._worker_path(worker_id).read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+
+    def workers(self):
+        """Every registered worker record, most recently alive first."""
+        rows = []
+        for path in sorted(self.workers_dir.glob("*.json")):
+            record = self._read_worker(path.stem)
+            if record:
+                rows.append(record)
+        return sorted(
+            rows, key=lambda r: r.get("heartbeat_at", 0.0), reverse=True
+        )
+
+    # -- summary -----------------------------------------------------------
+    def status(self):
+        """One JSON-friendly snapshot (the service's ``/api/status``)."""
+        counts = self.counts()
+        return {
+            "root": str(self.root),
+            "jobs": counts,
+            "total_jobs": sum(counts.values()),
+            "workers": len(self.workers()),
+            "store": (
+                None if self.store is None else {
+                    "root": (
+                        "memory" if self.store.in_memory
+                        else str(self.store.root)
+                    ),
+                    "entries": len(self.store),
+                }
+            ),
+        }

@@ -26,6 +26,7 @@ re-emulating the platform.  Replayed members carry provenance in
 
 import multiprocessing
 import time
+import traceback as traceback_module
 from collections import defaultdict
 from dataclasses import dataclass
 
@@ -45,11 +46,18 @@ class ScenarioResult:
     report: RunReport | None = None
     wall_seconds: float = 0.0
     error: str | None = None
+    traceback: str | None = None  # the failing worker's formatted stack
     trace: object = None  # ThermalTrace when the runner captures traces
 
     @property
     def ok(self):
         return self.error is None
+
+    @property
+    def status(self):
+        """``"ok"`` or ``"failed"`` — the uniform outcome tag batch
+        consumers (and the farm's job records) key on."""
+        return "ok" if self.error is None else "failed"
 
     @property
     def replayed(self):
@@ -69,8 +77,10 @@ class ScenarioResult:
         out = {
             "name": self.name,
             "index": self.index,
+            "status": self.status,
             "wall_seconds": self.wall_seconds,
             "error": self.error,
+            "traceback": self.traceback,
             "report": self.report.to_dict() if self.report else None,
         }
         if self.trace is not None:
@@ -104,10 +114,16 @@ def _execute(payload):
             framework, report = scenario.run()
         wall = time.perf_counter() - start
         trace = framework.trace if capture_trace else None
-        return index, scenario.name, report.to_dict(), wall, None, trace, archive
+        return (
+            index, scenario.name, report.to_dict(), wall, None, None, trace,
+            archive,
+        )
     except Exception as exc:  # the batch survives one bad scenario
         wall = time.perf_counter() - start
-        return index, name, None, wall, f"{type(exc).__name__}: {exc}", None, None
+        return (
+            index, name, None, wall, f"{type(exc).__name__}: {exc}",
+            traceback_module.format_exc(), None, None,
+        )
 
 
 def _group_key(runnable):
@@ -209,6 +225,7 @@ class Runner:
                 index=index,
                 wall_seconds=wall,
                 error=f"{type(exc).__name__}: {exc}",
+                traceback=traceback_module.format_exc(),
             )
 
     # -- plain batches ---------------------------------------------------------
@@ -266,7 +283,7 @@ class Runner:
         )
         fresh = {}  # digest -> archive, so followers skip disk re-loads
         for row in raw:
-            index, archive = row[0], row[6]
+            index, archive = row[0], row[7]
             results[index] = self._result_of(row)
             if archive is not None:
                 fresh[archive.scenario_digest] = archive
@@ -301,13 +318,14 @@ class Runner:
 
     @staticmethod
     def _result_of(row):
-        index, name, report_dict, wall, error, trace, _archive = row
+        index, name, report_dict, wall, error, tb, trace, _archive = row
         return ScenarioResult(
             name=name,
             index=index,
             report=RunReport.from_dict(report_dict) if report_dict else None,
             wall_seconds=wall,
             error=error,
+            traceback=tb,
             trace=trace,
         )
 
@@ -395,6 +413,7 @@ class Runner:
                     name=name,
                     index=index,
                     error=f"{type(exc).__name__}: {exc}",
+                    traceback=traceback_module.format_exc(),
                 )
                 continue
         self._run_groups(groups, results, captures, store)
@@ -430,6 +449,7 @@ class Runner:
                         name=scenario.name,
                         index=index,
                         error=f"{type(exc).__name__}: {exc}",
+                        traceback=traceback_module.format_exc(),
                     )
             self._run_groups(replay_groups, results, {}, None)
         return results
@@ -441,9 +461,10 @@ class Runner:
             completed = set()
             try:
                 self._co_step(group, completed)
-                error = None
+                error = tb = None
             except Exception as exc:
                 error = f"{type(exc).__name__}: {exc}"
+                tb = traceback_module.format_exc()
             wall = time.perf_counter() - start
             for position, (index, scenario, runnable) in enumerate(group):
                 # A member that had already reached its bounds *before*
@@ -473,6 +494,7 @@ class Runner:
                     report=report,
                     wall_seconds=wall,
                     error=member_error,
+                    traceback=tb if member_error else None,
                     trace=(
                         runnable.trace
                         if self.capture_trace and not member_error

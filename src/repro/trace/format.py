@@ -30,6 +30,7 @@ the data; a truncated or hand-edited archive fails loudly.
 """
 
 import json
+import os
 import pathlib
 from dataclasses import dataclass, field
 
@@ -168,29 +169,36 @@ class TraceArchive:
     # -- persistence -------------------------------------------------------
     def save(self, path):
         """Write ``<path>`` (an ``.npz``) plus its JSON sidecar; returns
-        the archive path.  The write is atomic per file (temp + rename)
-        so concurrent writers of one content-addressed entry are safe."""
+        the archive path.  Each file is written to a *uniquely named*
+        temp sibling and ``os.replace``d into place, so two processes
+        storing the same content-addressed entry concurrently (farm
+        workers racing on one digest) each publish a complete file and
+        the loser's rename simply overwrites the winner's identical
+        bytes — never a shared, interleaved temp file."""
+        from repro.util.locking import atomic_write_text, unique_tmp_path
+
         self.validate()
         path = pathlib.Path(path)
         if path.suffix != ".npz":
             path = path.with_suffix(".npz")
         path.parent.mkdir(parents=True, exist_ok=True)
         metadata_json = json.dumps(self.metadata, sort_keys=True)
-        tmp = path.with_name(path.name + ".tmp")
-        with open(tmp, "wb") as handle:
-            np.savez_compressed(
-                handle,
-                power_w=self.power_w,
-                frequency_hz=self.frequency_hz,
-                time_s=self.time_s,
-                component_temps_k=self.component_temps_k,
-                metadata_json=np.array(metadata_json),
-            )
-        tmp.replace(path)
-        side = sidecar_path(path)
-        side_tmp = side.with_name(side.name + ".tmp")
-        side_tmp.write_text(metadata_json + "\n")
-        side_tmp.replace(side)
+        tmp = unique_tmp_path(path)
+        try:
+            with open(tmp, "wb") as handle:
+                np.savez_compressed(
+                    handle,
+                    power_w=self.power_w,
+                    frequency_hz=self.frequency_hz,
+                    time_s=self.time_s,
+                    component_temps_k=self.component_temps_k,
+                    metadata_json=np.array(metadata_json),
+                )
+            os.replace(tmp, path)
+        except BaseException:
+            tmp.unlink(missing_ok=True)
+            raise
+        atomic_write_text(sidecar_path(path), metadata_json + "\n")
         return path
 
 

@@ -22,6 +22,17 @@ On disk the store shards archives as
 ``<root>/<digest[:2]>/<digest>.npz`` (+ JSON sidecars).  A store built
 with ``root=None`` keeps archives in memory — the runner uses that for
 single-call record-once/fan-out sweeps that need no persistence.
+
+The disk backend is safe for a whole *fleet* of concurrent writers
+(the :mod:`repro.farm` workers): every archive/sidecar write goes
+through a uniquely named temp file plus ``os.replace``, and each shard
+keeps an ``index.json`` of its entries' metadata — updated under a
+per-shard :class:`~repro.util.locking.FileLock` — so enumerating a
+large shared store (``entries()``) costs one small JSON read per shard
+instead of one sidecar read per archive.  Archives themselves remain
+the ground truth: a digest missing from an index (a legacy store, or a
+writer that died between rename and index update) is healed into the
+index on the next enumeration.
 """
 
 import hashlib
@@ -29,6 +40,7 @@ import json
 import pathlib
 
 from repro.trace.format import load_archive, sidecar_path
+from repro.util.locking import FileLock, atomic_write_json
 
 #: Default on-disk location used by the ``python -m repro trace`` CLI.
 DEFAULT_STORE_DIR = ".repro-traces"
@@ -128,6 +140,34 @@ class TraceStore:
             raise ValueError("an in-memory TraceStore has no paths")
         return self.root / digest[:2] / f"{digest}.npz"
 
+    # -- per-shard index ---------------------------------------------------
+    def _shard_dir(self, digest):
+        return self.root / digest[:2]
+
+    def _index_path(self, shard_dir):
+        return shard_dir / "index.json"
+
+    def _shard_lock(self, shard_dir):
+        return FileLock(shard_dir / ".index.lock")
+
+    @staticmethod
+    def _read_index(path):
+        """The shard's ``{digest: metadata}`` map; tolerant of a missing
+        or torn index (archives are the ground truth, not the index)."""
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return {}
+        return data if isinstance(data, dict) else {}
+
+    def _index_add(self, digest, metadata):
+        """Merge one entry into its shard index, under the shard lock."""
+        shard_dir = self._shard_dir(digest)
+        with self._shard_lock(shard_dir):
+            index = self._read_index(self._index_path(shard_dir))
+            index[digest] = metadata
+            atomic_write_json(self._index_path(shard_dir), index)
+
     # -- lookup ------------------------------------------------------------
     def has(self, digest):
         if not digest:
@@ -167,6 +207,7 @@ class TraceStore:
             self._memory[digest] = archive
         else:
             archive.save(self.path_for(digest))
+            self._index_add(digest, dict(archive.metadata))
         return digest
 
     # -- enumeration -------------------------------------------------------
@@ -180,21 +221,35 @@ class TraceStore:
         )
 
     def entries(self):
-        """``[(digest, metadata dict)]`` without loading the arrays."""
-        rows = []
+        """``[(digest, metadata dict)]`` without loading the arrays.
+
+        Served from the per-shard indexes (one JSON read per shard);
+        archives the indexes have not caught up with — legacy stores,
+        or a writer that died between the archive rename and its index
+        update — fall back to their sidecar and are healed into the
+        shard index for the next caller.
+        """
         if self.in_memory:
             return [
                 (digest, dict(self._memory[digest].metadata))
                 for digest in self.digests()
             ]
+        indexed = {}
+        if self.root is not None and self.root.is_dir():
+            for index_file in self.root.glob("??/index.json"):
+                indexed.update(self._read_index(index_file))
+        rows = []
         for digest in self.digests():
+            if digest in indexed:
+                rows.append((digest, indexed[digest]))
+                continue
             side = sidecar_path(self.path_for(digest))
             if side.is_file():
-                rows.append((digest, json.loads(side.read_text())))
+                metadata = json.loads(side.read_text())
             else:  # lone .npz: fall back to the embedded copy
-                rows.append(
-                    (digest, dict(load_archive(self.path_for(digest)).metadata))
-                )
+                metadata = dict(load_archive(self.path_for(digest)).metadata)
+            self._index_add(digest, metadata)
+            rows.append((digest, metadata))
         return rows
 
     def __len__(self):

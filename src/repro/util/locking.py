@@ -1,0 +1,140 @@
+"""Cross-process file locking and atomic writes.
+
+The run-farm (:mod:`repro.farm`) and the shared :class:`~repro.trace.
+store.TraceStore` coordinate many worker *processes* over one
+directory tree.  Two primitives make that safe on POSIX filesystems:
+
+* :class:`FileLock` — an advisory exclusive lock on a dedicated lock
+  file (``fcntl.flock`` where available, ``O_CREAT | O_EXCL`` spin
+  fallback elsewhere).  Each acquisition opens its own descriptor, so
+  the lock excludes threads of one process as well as other processes.
+* :func:`atomic_write_text` / :func:`atomic_write_json` — write to a
+  uniquely named temp file in the target directory, then
+  ``os.replace`` onto the destination.  Readers never observe a
+  half-written file, and concurrent writers of the same path cannot
+  interleave because each writes its own temp file.
+"""
+
+import json
+import os
+import pathlib
+import time
+
+try:  # POSIX; the spin-lock fallback keeps exotic platforms working.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX only
+    fcntl = None
+
+
+def unique_tmp_path(path):
+    """A collision-free sibling temp path for writes destined for
+    ``path`` (unique per process *and* per call, so two writers racing
+    on one content-addressed destination never share a temp file)."""
+    path = pathlib.Path(path)
+    token = f"{os.getpid()}.{os.urandom(4).hex()}"
+    return path.with_name(f".{path.name}.{token}.tmp")
+
+
+def atomic_write_text(path, text):
+    """Atomically replace ``path`` with ``text``; returns ``path``."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = unique_tmp_path(path)
+    try:
+        tmp.write_text(text)
+        os.replace(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+    return path
+
+
+def atomic_write_json(path, payload, **dumps_kwargs):
+    """Atomically replace ``path`` with ``payload`` as JSON."""
+    dumps_kwargs.setdefault("sort_keys", True)
+    return atomic_write_text(path, json.dumps(payload, **dumps_kwargs) + "\n")
+
+
+class FileLock:
+    """An exclusive advisory lock usable as a context manager.
+
+    ``FileLock(path)`` locks the file *at* ``path`` (created on
+    demand); holders block until the current owner releases.  The lock
+    file itself is never written through — it carries no data, so a
+    crashed holder leaves nothing to clean up (flock evaporates with
+    the process; the spin fallback honors ``stale_seconds``).
+    """
+
+    def __init__(self, path, timeout=30.0, poll_s=0.01, stale_seconds=60.0):
+        self.path = pathlib.Path(path)
+        self.timeout = timeout
+        self.poll_s = poll_s
+        self.stale_seconds = stale_seconds
+        self._fd = None
+
+    @property
+    def held(self):
+        return self._fd is not None
+
+    def acquire(self):
+        if self.held:
+            raise RuntimeError(f"lock {self.path} is already held")
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        if fcntl is not None:
+            fd = os.open(self.path, os.O_CREAT | os.O_RDWR, 0o644)
+            deadline = time.monotonic() + self.timeout
+            while True:
+                try:
+                    fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+                    self._fd = fd
+                    return self
+                except OSError:
+                    if time.monotonic() >= deadline:
+                        os.close(fd)
+                        raise TimeoutError(
+                            f"could not acquire lock {self.path} "
+                            f"within {self.timeout:g} s"
+                        ) from None
+                    time.sleep(self.poll_s)
+        return self._acquire_spin()  # pragma: no cover - non-POSIX only
+
+    def _acquire_spin(self):  # pragma: no cover - non-POSIX only
+        marker = self.path.with_name(self.path.name + ".held")
+        deadline = time.monotonic() + self.timeout
+        while True:
+            try:
+                fd = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_RDWR)
+                self._fd = fd
+                self._marker = marker
+                return self
+            except FileExistsError:
+                try:  # break locks abandoned by a crashed process
+                    age = time.time() - marker.stat().st_mtime
+                    if age > self.stale_seconds:
+                        marker.unlink(missing_ok=True)
+                        continue
+                except OSError:
+                    pass
+                if time.monotonic() >= deadline:
+                    raise TimeoutError(
+                        f"could not acquire lock {self.path} "
+                        f"within {self.timeout:g} s"
+                    ) from None
+                time.sleep(self.poll_s)
+
+    def release(self):
+        if not self.held:
+            return
+        fd, self._fd = self._fd, None
+        if fcntl is not None:
+            fcntl.flock(fd, fcntl.LOCK_UN)
+            os.close(fd)
+        else:  # pragma: no cover - non-POSIX only
+            os.close(fd)
+            self._marker.unlink(missing_ok=True)
+
+    def __enter__(self):
+        return self.acquire()
+
+    def __exit__(self, *exc_info):
+        self.release()

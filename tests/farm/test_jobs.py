@@ -1,0 +1,73 @@
+"""Job records: content-derived IDs, round-trips, claim predicates."""
+
+import json
+
+from repro.farm.jobs import SUBMITTED, Job, job_id_for, normalize_scenario
+from tests.farm.conftest import quick_scenario
+
+
+def test_job_id_is_idempotent_across_spellings():
+    scenario = quick_scenario("idem")
+    as_object = job_id_for(scenario)
+    as_dict = job_id_for(scenario.to_dict())
+    round_tripped = job_id_for(
+        json.loads(json.dumps(normalize_scenario(scenario)))
+    )
+    assert as_object == as_dict == round_tripped
+
+
+def test_job_id_tracks_content():
+    a = quick_scenario("a")
+    b = quick_scenario("a")
+    b.max_emulated_seconds = 2.0
+    assert job_id_for(a) != job_id_for(b)
+    # Cosmetic-only differences still change the *job* (unlike the
+    # trace digest): two differently named experiments are two jobs.
+    c = quick_scenario("c")
+    assert job_id_for(a) != job_id_for(c)
+
+
+def test_create_stamps_trace_digest_and_defaults():
+    job = Job.create(quick_scenario("fresh"), now=123.0, priority=3)
+    assert job.state == SUBMITTED
+    assert job.priority == 3
+    assert job.submitted_at == 123.0
+    assert job.trace_digest and len(job.trace_digest) == 64
+    assert job.scenario["name"] == "fresh"
+    assert not job.terminal
+
+
+def test_round_trip_through_json():
+    job = Job.create(quick_scenario("rt"), now=1.0, tags=("emulate",))
+    job.history.append({"event": "failed", "error": "boom"})
+    rebuilt = Job.from_dict(json.loads(json.dumps(job.to_dict())))
+    assert rebuilt == job
+
+
+def test_claimable_honours_time_tags_and_state():
+    job = Job.create(quick_scenario("claims"), now=0.0, tags=("fpga",))
+    assert job.claimable(0.0, None)  # None accepts any tags
+    assert job.claimable(0.0, ("fpga", "emulate"))
+    assert not job.claimable(0.0, ("emulate",))  # missing capability
+    job.not_before = 10.0
+    assert not job.claimable(5.0, None)
+    assert job.claimable(10.0, None)
+    job.state = "running"
+    assert not job.claimable(10.0, None)
+
+
+def test_sort_key_orders_priority_then_fifo():
+    low = Job.create(quick_scenario("low"), now=1.0, priority=0)
+    high = Job.create(quick_scenario("high"), now=2.0, priority=5)
+    earlier = Job.create(quick_scenario("earlier"), now=0.0, priority=0)
+    ordered = sorted([low, high, earlier], key=Job.sort_key)
+    assert [job.name for job in ordered] == ["high", "earlier", "low"]
+
+
+def test_error_reads_latest_failure():
+    job = Job.create(quick_scenario("err"), now=0.0)
+    assert job.error is None
+    job.history.append({"event": "failed", "error": "first"})
+    job.history.append({"event": "requeued"})
+    job.history.append({"event": "failed", "error": "second"})
+    assert job.error == "second"

@@ -1,0 +1,116 @@
+"""The HTTP submission API and its client, end to end in-process."""
+
+import pytest
+
+from repro.farm import FarmClient, FarmClientError, FarmService, FarmWorker
+from repro.farm.jobs import DONE
+from tests.farm.conftest import quick_scenario
+
+
+@pytest.fixture
+def service(queue):
+    with FarmService(queue) as running:
+        yield running
+
+
+@pytest.fixture
+def client(service):
+    return FarmClient(service.url)
+
+
+def test_submit_status_and_job_lookup(client, queue):
+    scenario = quick_scenario("http_submit")
+    [job] = client.submit(scenario)
+    assert job.state == "submitted"
+    assert queue.get(job.job_id) is not None  # really landed on disk
+    fetched = client.job(job.job_id)
+    assert fetched.scenario == job.scenario
+    status = client.status()
+    assert status["jobs"]["submitted"] == 1
+    assert client.jobs(state="submitted")[0].job_id == job.job_id
+    # Scenario JSON travels verbatim: the record is the lossless dict.
+    assert fetched.scenario["workload"] == scenario.to_dict()["workload"]
+
+
+def test_sweep_submits_unchanged_through_client(client):
+    from repro.scenario.sweep import Variant, sweep
+
+    members = sweep(quick_scenario("swept"), {
+        "config.die_resolution": [Variant("4", [4, 4]), Variant("6", [6, 6])],
+    })
+    jobs = client.submit(members)
+    assert len(jobs) == 2
+    assert len({job.job_id for job in jobs}) == 2
+    assert len({job.trace_digest for job in jobs}) == 1  # open loop
+
+
+def test_remote_worker_protocol_round_trip(client):
+    [job] = client.submit(quick_scenario("remote_work"))
+    client.register_worker("net-worker", ("emulate", "replay"))
+    claimed = client.claim("net-worker", ("emulate", "replay"))
+    assert claimed.job_id == job.job_id
+    assert client.claim("other") is None  # exclusivity over HTTP
+    assert client.heartbeat(job.job_id, "net-worker")
+    done = client.complete(job.job_id, {"status": "ok"}, worker="net-worker")
+    assert done.state == DONE
+    assert client.drained()
+    workers = client.workers()
+    assert any(w["worker"] == "net-worker" for w in workers)
+
+
+def test_full_worker_against_http_service(client, queue):
+    [job] = client.submit(quick_scenario("via_http"))
+    worker = FarmWorker(
+        client, store=queue.store, worker_id="w-http",
+        stop_when_idle=True, poll_s=0.01,
+    )
+    worker.run_forever()
+    record = client.job(job.job_id)
+    assert record.state == DONE
+    assert record.provenance["mode"] == "emulated"
+    assert record.provenance["worker"] == "w-http"
+    [registered] = [w for w in client.workers() if w["worker"] == "w-http"]
+    assert registered["jobs_done"] == 1  # progress travels over HTTP too
+
+
+def test_fail_over_http_records_structured_log(client):
+    [job] = client.submit(quick_scenario("http_fail"), max_retries=0)
+    client.claim("w1")
+    failed = client.fail(
+        job.job_id, "ValueError: nope", traceback="Traceback...", worker="w1"
+    )
+    assert failed.state == "failed"
+    [entry] = failed.history
+    assert entry["error"] == "ValueError: nope"
+    assert entry["traceback"] == "Traceback..."
+
+
+def test_wait_blocks_until_terminal(client):
+    [job] = client.submit(quick_scenario("waited"))
+    with pytest.raises(TimeoutError):
+        client.wait([job.job_id], timeout=0.2, poll_s=0.05)
+    client.claim("w1")
+    client.complete(job.job_id, {"status": "ok"}, worker="w1")
+    jobs = client.wait([job.job_id], timeout=5.0)
+    assert jobs[job.job_id].state == DONE
+
+
+def test_api_errors_surface_with_status(client):
+    assert client.job("feedfeedfeedfeed") is None  # 404 -> None
+    with pytest.raises(FarmClientError) as excinfo:
+        client._request("POST", "/api/jobs", {"scenarios": []})
+    assert excinfo.value.status == 400
+    with pytest.raises(FarmClientError) as excinfo:
+        client._request("GET", "/api/nonsense")
+    assert excinfo.value.status == 404
+    with pytest.raises(FarmClientError) as excinfo:
+        client.submit({"name": "broken"})  # no workload: rejected upstream
+    assert excinfo.value.status == 400
+    with pytest.raises(FarmClientError, match="unreachable"):
+        FarmClient("http://127.0.0.1:9", timeout=0.5).status()
+
+
+def test_bad_state_filter_rejected(client):
+    with pytest.raises(FarmClientError) as excinfo:
+        client.jobs(state="limbo")
+    assert excinfo.value.status == 400

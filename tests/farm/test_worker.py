@@ -1,0 +1,100 @@
+"""The worker loop: emulate-or-replay, provenance, failure reporting."""
+
+from repro.farm.jobs import DONE, FAILED
+from repro.farm.worker import FarmWorker
+from tests.farm.conftest import quick_scenario
+
+
+def drain(queue, worker_id="w-test", **kwargs):
+    worker = FarmWorker(
+        queue, worker_id=worker_id, stop_when_idle=True, poll_s=0.01,
+        **kwargs,
+    )
+    worker.run_forever()
+    return worker
+
+
+def test_worker_drains_queue_and_stamps_provenance(queue):
+    jobs = queue.submit_many([
+        quick_scenario("prov_a", die_resolution=[4, 4]),
+        quick_scenario("prov_b", die_resolution=[8, 8]),
+    ])
+    worker = drain(queue)
+    assert worker.jobs_done == 2
+    records = [queue.get(job.job_id) for job in jobs]
+    assert all(record.state == DONE for record in records)
+    modes = sorted(record.provenance["mode"] for record in records)
+    assert modes == ["emulated", "replayed"]  # one leader, one store hit
+    for record in records:
+        farm = record.provenance
+        assert farm["job_id"] == record.job_id
+        assert farm["worker"] == "w-test"
+        assert farm["attempt"] == 1
+        assert farm["trace_digest"] == record.trace_digest
+        assert farm["store"] == str(queue.store.root)
+    assert len(queue.store) == 1  # exactly one recording for both jobs
+    [registered] = queue.workers()
+    assert registered["jobs_done"] == 2  # progress reaches the registry
+
+
+def test_worker_result_round_trips_report(queue):
+    job = queue.submit(quick_scenario("report_rt"))
+    drain(queue)
+    record = queue.get(job.job_id)
+    report = record.result["report"]
+    assert record.result["status"] == "ok"
+    assert report["windows"] > 0
+    assert report["extras"]["farm"]["mode"] == "emulated"
+
+
+def test_failing_scenario_burns_retries_then_fails(queue):
+    bad = quick_scenario("doomed")
+    bad.floorplan = "missing_floorplan"
+    job = queue.submit(bad, max_retries=1, retry_backoff_s=0.0)
+    drain(queue)
+    record = queue.get(job.job_id)
+    assert record.state == FAILED
+    assert record.attempts == 2  # first try + one retry
+    failures = [e for e in record.history if e["event"] == "failed"]
+    assert len(failures) == 2
+    for entry in failures:
+        assert "unknown floorplan" in entry["error"]
+        assert "Traceback" in entry["traceback"]
+
+
+def test_worker_without_store_emulates_everything(bare_queue):
+    jobs = bare_queue.submit_many([
+        quick_scenario("ns_a", die_resolution=[4, 4]),
+        quick_scenario("ns_b", die_resolution=[8, 8]),
+    ])
+    drain(bare_queue)
+    for job in jobs:
+        record = bare_queue.get(job.job_id)
+        assert record.state == DONE
+        assert record.provenance["mode"] == "emulated"
+        assert record.provenance["store"] is None
+
+
+def test_worker_respects_max_jobs(queue):
+    queue.submit_many([
+        quick_scenario("mj_a", seconds=0.25),
+        quick_scenario("mj_b", seconds=0.5),
+    ])
+    worker = drain(queue, max_jobs=1)
+    assert worker.jobs_done == 1
+    counts = queue.counts()
+    assert counts["done"] == 1 and counts["submitted"] == 1
+
+
+def test_second_worker_answers_from_shared_store(tmp_path, queue):
+    """A later fleet member replays what an earlier one recorded —
+    the global record-once/replay-many property."""
+    first_job = queue.submit(quick_scenario("shared", die_resolution=[4, 4]))
+    drain(queue, worker_id="w-early")
+    later_job = queue.submit(quick_scenario("shared2", die_resolution=[8, 8]))
+    drain(queue, worker_id="w-late")
+    assert queue.get(first_job.job_id).provenance["mode"] == "emulated"
+    later = queue.get(later_job.job_id)
+    assert later.provenance["mode"] == "replayed"
+    assert later.provenance["worker"] == "w-late"
+    assert len(queue.store) == 1

@@ -280,3 +280,44 @@ def test_batched_runner_honours_stall_bound():
     )
     assert [r.report.windows for r in results] == [4, 6]
     assert all(r.report.stalled for r in results)
+
+
+# -- worker-failure handling: status + captured traceback --------------------
+
+
+def test_pool_worker_failure_carries_status_and_traceback():
+    """A scenario raising inside a pool worker must come back as one
+    status="failed" result with the worker's formatted traceback — the
+    rest of the batch completes (the farm workers reuse this path)."""
+    bad = profiled_scenario("bad")
+    bad.floorplan = "missing_floorplan"
+    results = Runner(workers=2).run([profiled_scenario("good"), bad])
+    good, failed = results
+    assert good.status == "ok"
+    assert good.traceback is None
+    assert failed.status == "failed"
+    assert failed.report is None
+    assert "Traceback (most recent call last)" in failed.traceback
+    assert "missing_floorplan" in failed.traceback
+
+
+def test_result_dict_includes_status_and_traceback():
+    bad = profiled_scenario("bad")
+    bad.floorplan = "missing_floorplan"
+    good_row, bad_row = [
+        r.to_dict() for r in Runner().run([profiled_scenario("good"), bad])
+    ]
+    assert good_row["status"] == "ok" and good_row["traceback"] is None
+    assert bad_row["status"] == "failed"
+    assert "Traceback" in bad_row["traceback"]
+    assert bad_row["report"] is None
+
+
+def test_batched_failures_carry_traceback():
+    results = Runner().run_batched(
+        [profiled_scenario("good", iterations=10_000), {"name": "x"}]
+    )
+    good, failed = results
+    assert good.status == "ok" and good.traceback is None
+    assert failed.status == "failed"
+    assert "Traceback" in failed.traceback
