@@ -126,10 +126,12 @@ class FarmClient:
         )
 
     def worker_heartbeat(self, worker_id, jobs_done=None):
-        return self._request(
-            "POST", "/api/workers",
-            {"worker": worker_id, "jobs_done": jobs_done},
-        )
+        # "heartbeat" keeps a plain liveness beat (jobs_done=None) off
+        # the registration path, which would wipe capability tags.
+        payload = {"worker": worker_id, "heartbeat": True}
+        if jobs_done is not None:
+            payload["jobs_done"] = jobs_done
+        return self._request("POST", "/api/workers", payload)
 
     def claim(self, worker, capabilities=None):
         data = self._request(

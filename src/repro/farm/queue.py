@@ -82,7 +82,14 @@ class JobQueue:
                 store = TraceStore(store)
         self.store = store
         self.heartbeat_timeout = float(heartbeat_timeout)
-        self._lock = FileLock(self.root / "queue.lock")
+        self._lock_path = self.root / "queue.lock"
+
+    def _lock(self):
+        """A fresh :class:`FileLock` per transition.  Each acquisition
+        owns its own descriptor, so concurrent service threads block on
+        each other (flock semantics) instead of colliding on one shared
+        instance, which raises ``already held``."""
+        return FileLock(self._lock_path)
 
     # -- persistence -------------------------------------------------------
     def _job_path(self, job_id):
@@ -135,7 +142,7 @@ class JobQueue:
         """
         now = time.time() if now is None else now
         job_id = job_id_for(scenario)
-        with self._lock:
+        with self._lock():
             existing = self.get(job_id)
             if existing is not None:
                 if retry_failed and existing.state == FAILED:
@@ -163,7 +170,7 @@ class JobQueue:
         returns the requeued job IDs.  Called implicitly by every
         :meth:`claim`, so a farm self-heals without a reaper daemon."""
         now = time.time() if now is None else now
-        with self._lock:
+        with self._lock():
             return self._requeue_stale_locked(now)
 
     def _requeue_stale_locked(self, now):
@@ -191,7 +198,7 @@ class JobQueue:
         jobs (another running job will record their trace) are skipped.
         """
         now = time.time() if now is None else now
-        with self._lock:
+        with self._lock():
             self._requeue_stale_locked(now)
             jobs = self.jobs()
             leased = {
@@ -218,7 +225,7 @@ class JobQueue:
         longer owns the job (it was requeued and reclaimed) — the
         worker should abandon its in-flight run."""
         now = time.time() if now is None else now
-        with self._lock:
+        with self._lock():
             job = self.get(job_id)
             if job is None or job.state != RUNNING or job.worker != worker:
                 return False
@@ -228,18 +235,26 @@ class JobQueue:
         return True
 
     # -- completion --------------------------------------------------------
+    @staticmethod
+    def _owned_by(job, worker):
+        """True when ``worker`` currently owns the RUNNING job.  A
+        stale owner — the job was requeued under it (now SUBMITTED with
+        ``worker=None``) or reclaimed by someone else — fails this
+        check in every state, so a late report never burns a retry
+        attempt the liveness machinery already refunded."""
+        return job.state == RUNNING and job.worker == worker
+
     def complete(self, job_id, result, worker=None, now=None):
         """Mark a job DONE with its serialized
         :class:`~repro.scenario.runner.ScenarioResult`.  A stale owner
         (the job was requeued under it) is refused — only the current
         owner's completion counts.  Returns the job or ``None``."""
         now = time.time() if now is None else now
-        with self._lock:
+        with self._lock():
             job = self.get(job_id)
             if job is None or job.terminal:
                 return None
-            if worker is not None and job.state == RUNNING \
-                    and job.worker != worker:
+            if worker is not None and not self._owned_by(job, worker):
                 return None
             job.state = DONE
             job.result = result
@@ -250,14 +265,16 @@ class JobQueue:
     def fail(self, job_id, error, traceback=None, worker=None, now=None):
         """Record a failed attempt.  The job retries with exponential
         backoff until ``max_retries`` attempts are burned, then parks
-        in FAILED; every attempt leaves a structured history entry."""
+        in FAILED; every attempt leaves a structured history entry.  A
+        stale owner's late failure is refused (``None``), so a
+        heartbeat-timeout requeue never double-charges the retry
+        budget."""
         now = time.time() if now is None else now
-        with self._lock:
+        with self._lock():
             job = self.get(job_id)
             if job is None or job.terminal:
                 return None
-            if worker is not None and job.state == RUNNING \
-                    and job.worker != worker:
+            if worker is not None and not self._owned_by(job, worker):
                 return None
             job.attempts += 1
             job.history.append({
@@ -285,7 +302,9 @@ class JobQueue:
         return self.workers_dir / f"{worker_id}.json"
 
     def register_worker(self, worker_id, capabilities=(), now=None):
-        """Announce a worker and its capability tags."""
+        """Announce a worker and its capability tags.  The read-modify-
+        write runs under the queue lock so a concurrent heartbeat (job
+        liveness, ``jobs_done`` progress) cannot be lost."""
         now = time.time() if now is None else now
         record = {
             "worker": worker_id,
@@ -294,23 +313,29 @@ class JobQueue:
             "heartbeat_at": now,
             "jobs_done": 0,
         }
-        existing = self._read_worker(worker_id)
-        if existing:
-            record["registered_at"] = existing.get("registered_at", now)
-            record["jobs_done"] = existing.get("jobs_done", 0)
-        atomic_write_json(self._worker_path(worker_id), record)
+        with self._lock():
+            existing = self._read_worker(worker_id)
+            if existing:
+                record["registered_at"] = existing.get("registered_at", now)
+                record["jobs_done"] = existing.get("jobs_done", 0)
+            atomic_write_json(self._worker_path(worker_id), record)
         return record
 
     def worker_heartbeat(self, worker_id, now=None, jobs_done=None):
+        """Record worker liveness (and optionally ``jobs_done``
+        progress) without touching the registered capabilities; runs
+        under the queue lock for the same no-lost-update reason as
+        :meth:`register_worker`."""
         now = time.time() if now is None else now
-        record = self._read_worker(worker_id) or {
-            "worker": worker_id, "capabilities": [], "registered_at": now,
-            "jobs_done": 0,
-        }
-        record["heartbeat_at"] = now
-        if jobs_done is not None:
-            record["jobs_done"] = jobs_done
-        atomic_write_json(self._worker_path(worker_id), record)
+        with self._lock():
+            record = self._read_worker(worker_id) or {
+                "worker": worker_id, "capabilities": [],
+                "registered_at": now, "jobs_done": 0,
+            }
+            record["heartbeat_at"] = now
+            if jobs_done is not None:
+                record["jobs_done"] = jobs_done
+            atomic_write_json(self._worker_path(worker_id), record)
         return record
 
     def _read_worker(self, worker_id):

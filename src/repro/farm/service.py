@@ -14,8 +14,9 @@ Route                         Meaning
 ``GET  /api/jobs/<id>``       one full job record
 ``POST /api/jobs``            submit ``{"scenarios": [...], ...}``
 ``GET  /api/workers``         the worker registry
-``POST /api/workers``         register ``{"worker", "capabilities"}`` or
-                              report progress ``{"worker", "jobs_done"}``
+``POST /api/workers``         register ``{"worker", "capabilities"}``, or
+                              beat/report progress ``{"worker",
+                              "heartbeat": true[, "jobs_done"]}``
 ``POST /api/claim``           claim for ``{"worker", "capabilities"}``
 ``POST /api/jobs/<id>/heartbeat``  liveness beat ``{"worker"}``
 ``POST /api/jobs/<id>/complete``   finish ``{"worker", "result"}``
@@ -133,9 +134,9 @@ class _FarmRequestHandler(BaseHTTPRequestHandler):
             return {"job": job.to_dict() if job else None}
         if path == "/api/workers":
             worker = self._required(payload, "worker")
-            if payload.get("jobs_done") is not None:
+            if payload.get("heartbeat") or payload.get("jobs_done") is not None:
                 return self.queue.worker_heartbeat(
-                    worker, jobs_done=payload["jobs_done"]
+                    worker, jobs_done=payload.get("jobs_done")
                 )
             return self.queue.register_worker(
                 worker, payload.get("capabilities") or ()

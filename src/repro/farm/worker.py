@@ -69,6 +69,7 @@ class FarmWorker:
         self.library = library
         self.log = log or (lambda message: None)
         self.jobs_done = 0
+        self.report_backoff_s = 0.2
         self._stop = threading.Event()
 
     def stop(self):
@@ -76,12 +77,27 @@ class FarmWorker:
         self._stop.set()
 
     # -- the loop ----------------------------------------------------------
+    #: Consecutive claim failures tolerated before the loop gives up —
+    #: rides out a service restart without looping forever against a
+    #: farm that is really gone.
+    MAX_CLAIM_ERRORS = 10
+
     def run_forever(self):
         """Claim and run jobs until stopped (or idle, if configured);
         returns the number of jobs processed."""
         self.queue.register_worker(self.worker_id, self.capabilities)
+        claim_errors = 0
         while not self._stop.is_set():
-            job = self.queue.claim(self.worker_id, self.capabilities)
+            try:
+                job = self.queue.claim(self.worker_id, self.capabilities)
+            except Exception as exc:  # transient service blip: back off
+                claim_errors += 1
+                if claim_errors >= self.MAX_CLAIM_ERRORS:
+                    raise
+                self.log(f"{self.worker_id}: claim failed ({exc}); retrying")
+                self._stop.wait(self.poll_s * claim_errors)
+                continue
+            claim_errors = 0
             if job is None:
                 if self.stop_when_idle and self.queue.drained():
                     break
@@ -91,7 +107,10 @@ class FarmWorker:
             self.jobs_done += 1
             progress = getattr(self.queue, "worker_heartbeat", None)
             if progress is not None:
-                progress(self.worker_id, jobs_done=self.jobs_done)
+                try:  # progress is best-effort bookkeeping
+                    progress(self.worker_id, jobs_done=self.jobs_done)
+                except Exception:
+                    pass
             if self.max_jobs is not None and self.jobs_done >= self.max_jobs:
                 break
         return self.jobs_done
@@ -111,32 +130,52 @@ class FarmWorker:
             import traceback as traceback_module
 
             beat.stop()
-            self.queue.fail(
+            self._report(job.job_id, lambda: self.queue.fail(
                 job.job_id,
                 error=f"{type(exc).__name__}: {exc}",
                 traceback=traceback_module.format_exc(),
                 worker=self.worker_id,
-            )
+            ))
             return None
         beat.stop()
         if not result.ok:
             self.log(f"{self.worker_id}: {job.job_id} failed: {result.error}")
-            self.queue.fail(
+            self._report(job.job_id, lambda: self.queue.fail(
                 job.job_id,
                 error=result.error,
                 traceback=result.traceback,
                 worker=self.worker_id,
-            )
+            ))
             return result
         result.report.extras["farm"] = self._provenance(job, result)
-        self.queue.complete(
+        self._report(job.job_id, lambda: self.queue.complete(
             job.job_id, result.to_dict(), worker=self.worker_id
-        )
+        ))
         self.log(
             f"{self.worker_id}: {job.job_id} done "
             f"({result.report.extras['farm']['mode']})"
         )
         return result
+
+    def _report(self, job_id, deliver, retries=3):
+        """Deliver a complete/fail report, riding out a momentary
+        service blip.  A report that still cannot land is logged and
+        dropped — the queue's heartbeat-timeout requeue recovers the
+        job — instead of crashing the worker with the result in hand."""
+        last = None
+        for attempt in range(retries):
+            try:
+                return deliver()
+            except Exception as exc:
+                last = exc
+                if self._stop.is_set():
+                    break
+                time.sleep(self.report_backoff_s * (attempt + 1))
+        self.log(
+            f"{self.worker_id}: could not report {job_id} "
+            f"after {retries} tries: {last}"
+        )
+        return None
 
     def _provenance(self, job, result):
         """The ``extras["farm"]`` record stamped into every report: who

@@ -186,6 +186,27 @@ def test_lost_worker_requeues_after_timeout(queue):
     assert done.state == DONE and done.result == {"ok": True}
 
 
+def test_late_fail_after_requeue_burns_no_retry_attempt(queue):
+    """A stale owner's fail/complete is refused even after the job was
+    handed back to SUBMITTED (worker=None) — a liveness requeue never
+    burns a retry attempt or parks the job in FAILED."""
+    job = queue.submit(quick_scenario("late_fail"), max_retries=0, now=0.0)
+    queue.claim("w1", now=0.0)
+    assert queue.requeue_stale(now=10.0) == [job.job_id]
+    # w1 wakes up late and reports a failure for the requeued job.
+    assert queue.fail(job.job_id, "late zombie failure", worker="w1",
+                      now=11.0) is None
+    assert queue.complete(job.job_id, {"zombie": True}, worker="w1",
+                          now=11.0) is None
+    record = queue.get(job.job_id)
+    assert record.state == SUBMITTED
+    assert record.attempts == 0  # the refunded attempt stays refunded
+    # The legitimate next owner proceeds normally.
+    assert queue.claim("w2", now=12.0).job_id == job.job_id
+    assert queue.complete(job.job_id, {"ok": True}, worker="w2",
+                          now=13.0).state == DONE
+
+
 def test_explicit_requeue_stale(queue):
     job = queue.submit(quick_scenario("stale"), now=0.0)
     queue.claim("w1", now=0.0)
@@ -254,6 +275,21 @@ def test_counts_drained_and_status(queue):
     assert queue.status()["workers"] == 1
     [worker] = queue.workers()
     assert worker["capabilities"] == ["emulate"]
+
+
+def test_worker_heartbeat_preserves_registration(queue):
+    queue.register_worker("w1", ("emulate", "fpga"), now=0.0)
+    queue.worker_heartbeat("w1", now=5.0)  # plain liveness beat
+    queue.worker_heartbeat("w1", now=6.0, jobs_done=3)
+    [record] = queue.workers()
+    assert record["capabilities"] == ["emulate", "fpga"]
+    assert record["registered_at"] == 0.0
+    assert record["heartbeat_at"] == 6.0
+    assert record["jobs_done"] == 3
+    # Re-registration (worker restart) keeps the progress counter.
+    rereg = queue.register_worker("w1", ("emulate",), now=7.0)
+    assert rereg["jobs_done"] == 3
+    assert rereg["registered_at"] == 0.0
 
 
 def test_jobs_rejects_unknown_state(queue):

@@ -73,6 +73,55 @@ def test_full_worker_against_http_service(client, queue):
     assert registered["jobs_done"] == 1  # progress travels over HTTP too
 
 
+def test_concurrent_requests_share_the_queue_safely(client):
+    """Many service threads claiming/beating at once must serialize on
+    the queue lock — never collide on it and surface a 500 (the shared
+    FileLock regression)."""
+    import threading
+
+    client.submit([
+        quick_scenario(f"conc{i}", seconds=0.25 + i * 0.25) for i in range(6)
+    ])
+    errors, claimed = [], []
+    lock = threading.Lock()
+
+    def hammer(i):
+        worker = f"hammer-{i}"
+        try:
+            client.register_worker(worker, ("emulate", "replay"))
+            for _ in range(3):
+                job = client.claim(worker)
+                client.worker_heartbeat(worker)
+                if job is not None:
+                    client.heartbeat(job.job_id, worker)
+                    with lock:
+                        claimed.append(job.job_id)
+        except FarmClientError as exc:
+            with lock:
+                errors.append(exc)
+
+    threads = [
+        threading.Thread(target=hammer, args=(i,)) for i in range(8)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert errors == []
+    assert len(claimed) == len(set(claimed))  # exclusivity held throughout
+
+
+def test_plain_liveness_beat_preserves_capabilities(client):
+    client.register_worker("beating", ("emulate", "fpga"))
+    client.worker_heartbeat("beating")  # no jobs_done: liveness only
+    [record] = [w for w in client.workers() if w["worker"] == "beating"]
+    assert record["capabilities"] == ["emulate", "fpga"]
+    client.worker_heartbeat("beating", jobs_done=2)
+    [record] = [w for w in client.workers() if w["worker"] == "beating"]
+    assert record["capabilities"] == ["emulate", "fpga"]
+    assert record["jobs_done"] == 2
+
+
 def test_fail_over_http_records_structured_log(client):
     [job] = client.submit(quick_scenario("http_fail"), max_retries=0)
     client.claim("w1")

@@ -1,5 +1,7 @@
 """The worker loop: emulate-or-replay, provenance, failure reporting."""
 
+import pytest
+
 from repro.farm.jobs import DONE, FAILED
 from repro.farm.worker import FarmWorker
 from tests.farm.conftest import quick_scenario
@@ -84,6 +86,52 @@ def test_worker_respects_max_jobs(queue):
     assert worker.jobs_done == 1
     counts = queue.counts()
     assert counts["done"] == 1 and counts["submitted"] == 1
+
+
+class _FlakyQueue:
+    """Delegates to a real queue, but the first ``fails`` calls to each
+    of claim/complete/fail raise — a momentary service blip."""
+
+    def __init__(self, queue, fails=1):
+        self._queue = queue
+        self._budget = {"claim": fails, "complete": fails, "fail": fails}
+
+    def __getattr__(self, name):
+        inner = getattr(self._queue, name)
+        if name not in self._budget:
+            return inner
+
+        def flaky(*args, **kwargs):
+            if self._budget[name] > 0:
+                self._budget[name] -= 1
+                raise RuntimeError(f"farm service unreachable ({name})")
+            return inner(*args, **kwargs)
+
+        return flaky
+
+
+def test_worker_survives_transient_report_failure(queue):
+    """A blip while reporting a finished job retries instead of
+    crashing the worker and discarding the computed result."""
+    job = queue.submit(quick_scenario("blip"))
+    worker = FarmWorker(
+        _FlakyQueue(queue), store=queue.store, worker_id="w-flaky",
+        stop_when_idle=True, poll_s=0.01,
+    )
+    worker.report_backoff_s = 0.0
+    assert worker.run_forever() == 1
+    record = queue.get(job.job_id)
+    assert record.state == DONE  # the retry delivered the result
+    assert record.result["status"] == "ok"
+
+
+def test_worker_gives_up_after_persistent_claim_failure(queue):
+    queue.submit(quick_scenario("unreachable"))
+    worker = FarmWorker(
+        _FlakyQueue(queue, fails=100), worker_id="w-dead", poll_s=0.0,
+    )
+    with pytest.raises(RuntimeError, match="unreachable"):
+        worker.run_forever()
 
 
 def test_second_worker_answers_from_shared_store(tmp_path, queue):
