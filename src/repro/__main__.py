@@ -134,6 +134,15 @@ def main(argv=None):
         "(sparse_be, cached_lu, batched_lu, ...)",
     )
     parser.add_argument(
+        "--list-emulation-backends", action="store_true",
+        help="list emulation backend names and exit",
+    )
+    parser.add_argument(
+        "--emulation-backend", metavar="NAME",
+        help="override every scenario's emulation backend "
+        "(event_driven, windowed, cycle_accurate)",
+    )
+    parser.add_argument(
         "--batched", action="store_true",
         help="co-step structure-sharing scenarios through one multi-RHS "
         "thermal solve per window (in-process; ignores --workers)",
@@ -160,6 +169,13 @@ def main(argv=None):
             doc = (SOLVER_BACKENDS.get(name).__doc__ or "").strip().splitlines()
             print(f"{name:24s} {doc[0] if doc else ''}")
         return 0
+    if args.list_emulation_backends:
+        from repro.scenario.registry import EMULATION_BACKENDS
+
+        for name in EMULATION_BACKENDS.names():
+            doc = (EMULATION_BACKENDS.get(name).__doc__ or "").strip().splitlines()
+            print(f"{name:24s} {doc[0] if doc else ''}")
+        return 0
     if not args.spec:
         parser.print_usage()
         return 2
@@ -170,6 +186,10 @@ def main(argv=None):
             for scenario in scenarios:
                 scenario.config.solver_backend = args.backend
                 scenario.config._validate_solver_backend()
+        if args.emulation_backend:
+            for scenario in scenarios:
+                scenario.config.emulation_backend = args.emulation_backend
+                scenario.config._validate_emulation_backend()
     except (ValueError, OSError, json.JSONDecodeError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

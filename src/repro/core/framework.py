@@ -9,6 +9,7 @@ temperatures, fed back to the temperature sensors, and acted upon by the
 run-time thermal-management policy through the VPCM.
 """
 
+import time
 from dataclasses import asdict, dataclass, field
 
 from repro.core.dispatcher import BramBuffer, EthernetDispatcher
@@ -16,7 +17,7 @@ from repro.core.sniffers import SnifferBank
 from repro.core.stats import ThermalTrace, TraceSample
 from repro.policy.builtin import NoManagementPolicy
 from repro.core.vpcm import FREEZE_ETHERNET, Vpcm
-from repro.core.workload_model import DirectWorkload
+from repro.emulation.backends import make_emulation_backend
 from repro.emulation.ethernet import EthernetLink
 from repro.power.models import PowerModel
 from repro.thermal.backends import make_backend
@@ -46,6 +47,7 @@ class FrameworkConfig:
     initial_temperature_kelvin: float | None = None  # default: ambient
     solver_backend: str | dict = "sparse_be"  # see repro.thermal.backends
     trace_stride: int = 1  # keep every k-th ThermalTrace sample
+    emulation_backend: str | dict = "event_driven"  # see repro.emulation.backends
 
     def __post_init__(self):
         if self.sampling_period_s <= 0:
@@ -63,6 +65,7 @@ class FrameworkConfig:
                 f"got {self.initial_temperature_kelvin}"
             )
         self._validate_solver_backend()
+        self._validate_emulation_backend()
         if not isinstance(self.trace_stride, int) or isinstance(
             self.trace_stride, bool
         ) or self.trace_stride < 1:
@@ -118,6 +121,20 @@ class FrameworkConfig:
                 f"got {type(spec).__name__}"
             )
         make_backend(spec)
+
+    def _validate_emulation_backend(self):
+        """Reject bad emulation-backend specs at config time; same
+        contract as :meth:`_validate_solver_backend` (plain data only so
+        the config stays JSON-round-trippable; pass a live workload to
+        :class:`EmulationFramework` directly instead)."""
+        spec = self.emulation_backend
+        if not isinstance(spec, (str, dict)):
+            raise ValueError(
+                f"emulation_backend must be a registered name or "
+                f"{{'name': ..., 'params': ...}} dict, "
+                f"got {type(spec).__name__}"
+            )
+        make_emulation_backend(spec)
 
     def to_dict(self):
         """JSON-compatible dict; ``from_dict`` round-trips it losslessly."""
@@ -286,13 +303,23 @@ class EmulationFramework:
             lower_kelvin=cfg.sensor_lower_kelvin,
         )
 
+        # Which emulation backend drives the platform (None when the
+        # caller passed a ready-made workload object).
+        self.emulation_backend = None
         if workload is None:
             if platform is None:
                 raise ValueError("need a workload when no platform is given")
-            workload = DirectWorkload(platform, self.power_model)
+            backend = make_emulation_backend(cfg.emulation_backend)
+            workload = backend.build_workload(platform, self.power_model)
+            self.emulation_backend = backend.name
         self.workload = workload
         self.trace = ThermalTrace()
         self.windows = 0
+        # Per-phase wall-time accumulators (seconds); the solve slot is
+        # filled by step_window — batched sweeps solve outside the
+        # framework, so it stays 0.0 there by design.
+        self.timing = {"emulate": 0.0, "power": 0.0, "dispatch": 0.0,
+                       "solve": 0.0}
         self.stall_windows = 0  # consecutive zero-progress windows
         self._stall_bound_hit = False  # a bounds check tripped on stalling
         # Per-window capture hooks (repro.trace records the dispatcher
@@ -316,7 +343,9 @@ class EmulationFramework:
         """Run exactly one sampling window of the co-emulation loop."""
         powers, frequency = self._window_power()
         # 4. The SW thermal tool integrates one sampling period.
+        t0 = time.perf_counter()
         self.solver.step_be(self.config.sampling_period_s)
+        self.timing["solve"] += time.perf_counter() - t0
         return self._window_commit(powers, frequency)
 
     def _window_power(self):
@@ -330,6 +359,7 @@ class EmulationFramework:
         cfg = self.config
         period = cfg.sampling_period_s
         frequency = self.vpcm.virtual_hz
+        t0 = time.perf_counter()
 
         # 1. The emulated platform runs one window while the sniffers count.
         window_cycles = self.vpcm.window_cycles(period)
@@ -351,6 +381,8 @@ class EmulationFramework:
             self.stall_windows = 0
             self._stall_bound_hit = False
         activity = self.workload.advance(progress_cycles)
+        t1 = time.perf_counter()
+        self.timing["emulate"] += t1 - t0
 
         # 2. Activity -> power (per floorplan component).
         powers = self.power_model.component_power(
@@ -358,6 +390,8 @@ class EmulationFramework:
             frequency_hz=frequency if frequency > 0 else 0.0,
             core_frequencies=core_frequencies,
         )
+        t2 = time.perf_counter()
+        self.timing["power"] += t2 - t1
 
         # 3. Statistics stream to the host; congestion freezes the clocks.
         payload = self.sniffer_bank.window_payload_bytes()
@@ -370,6 +404,7 @@ class EmulationFramework:
             self.vpcm.freeze_seconds(freeze, FREEZE_ETHERNET)
 
         self.network.set_power(powers)
+        self.timing["dispatch"] += time.perf_counter() - t2
         return powers, frequency
 
     def _window_commit(self, powers, frequency):
@@ -459,7 +494,11 @@ class EmulationFramework:
         return self.report()
 
     def report(self):
-        extras = {"thermal_cells": self.network.num_cells}
+        extras = {
+            "thermal_cells": self.network.num_cells,
+            "emulation_backend": self.emulation_backend,
+            "timing": dict(self.timing),
+        }
         policy_report = getattr(self.policy, "report", None)
         if policy_report is not None:
             extras["policy"] = policy_report()

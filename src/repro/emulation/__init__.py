@@ -6,11 +6,20 @@
 * :mod:`repro.emulation.cycle_accurate` — a signal-level engine that
   evaluates every component every cycle, the way an HDL/SystemC kernel
   (MPARM) does; the measured baseline for Table 3's shape.
+* :mod:`repro.emulation.windowed` — the vectorized window-level fast
+  model, calibrated once against the event-driven engine.
+* :mod:`repro.emulation.backends` — the ``EMULATION_BACKENDS`` registry
+  putting all three behind one contract (mirrors ``SOLVER_BACKENDS``).
 * :mod:`repro.emulation.perfmodel` — calibrated wall-clock models of the
   FPGA emulator and an MPARM-class simulator.
 * :mod:`repro.emulation.ethernet` — the FPGA-to-host statistics link.
 """
 
+from repro.emulation.backends import (
+    EMULATION_BACKENDS,
+    EmulationBackend,
+    make_emulation_backend,
+)
 from repro.emulation.engine import EventDrivenEngine
 from repro.emulation.ethernet import EthernetLink
 from repro.emulation.perfmodel import (
@@ -18,11 +27,16 @@ from repro.emulation.perfmodel import (
     MparmPerformanceModel,
     TABLE3_ROWS,
 )
+from repro.emulation.windowed import WindowedWorkload
 
 __all__ = [
+    "EMULATION_BACKENDS",
+    "EmulationBackend",
     "EmulatorPerformanceModel",
     "EthernetLink",
     "EventDrivenEngine",
     "MparmPerformanceModel",
     "TABLE3_ROWS",
+    "WindowedWorkload",
+    "make_emulation_backend",
 ]

@@ -267,9 +267,15 @@ class _CaCore:
 
     # -- the state machine ------------------------------------------------------
     def tick(self):
-        if self.state in (S_HALTED, S_FETCH_WAIT, S_MEM_WAIT):
+        if self.state == S_HALTED:
+            return
+        if self.state in (S_FETCH_WAIT, S_MEM_WAIT):
+            # Waiting on a memory or interconnect response: a stalled
+            # pipeline cycle in the sniffers' active/stall/idle split.
+            self.core.stall_cycles += 1
             return
         if self.state == S_EXEC:
+            self.core.active_cycles += 1
             self.countdown -= 1
             if self.countdown <= 0:
                 self._finish_instruction()
@@ -279,6 +285,7 @@ class _CaCore:
             if core.halted:
                 self.state = S_HALTED
                 return
+            core.active_cycles += 1  # fetch-issue cycle
             fetch_addr = core.program.text_base + 4 * core.pc
             core.memctrl.counters.add("fetches")
             self.state = S_FETCH_WAIT
@@ -423,3 +430,29 @@ class CycleAccurateEngine:
         for ca_core in self.cores:
             ca_core.core.cycle = self.cycle
         return self.cycle
+
+    def run_window(self, until_cycle, max_cycles=10**9):
+        """Tick the global clock up to ``until_cycle`` (a window boundary).
+
+        The workload-model counterpart of
+        :meth:`EventDrivenEngine.run_window`: halted cores idle to the
+        boundary so their idle cycles are accounted.  Returns the number
+        of instructions that completed inside this window.
+        """
+        components = len(list(self.platform.components()))
+        before = sum(c.core.instructions for c in self.cores)
+        while self.cycle < until_cycle and not self.all_halted:
+            if self.cycle >= max_cycles:
+                raise RuntimeError(f"cycle budget exhausted at {self.cycle}")
+            self.cycle += 1
+            self._fire_timers()
+            self.fabric.tick(self.cycle)
+            for core in self.cores:
+                core.tick()
+            self.evaluations += components
+        for ca_core in self.cores:
+            if ca_core.state == S_HALTED:
+                ca_core.core.idle_until(until_cycle)
+            else:
+                ca_core.core.cycle = self.cycle
+        return sum(c.core.instructions for c in self.cores) - before

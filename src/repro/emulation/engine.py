@@ -28,13 +28,17 @@ class EventDrivenEngine:
         Returns the number of instructions executed in this window.
         """
         heap = []
-        for core in self.platform.cores:
+        for index, core in enumerate(self.platform.cores):
             if not core.halted and core.cycle < until_cycle:
-                heapq.heappush(heap, (core.cycle, id(core), core))
+                # Tie-break same-cycle cores by platform index: a stable,
+                # process-independent order (id() varies per process and
+                # would make contention outcomes and trace digests
+                # irreproducible).
+                heapq.heappush(heap, (core.cycle, index, core))
         executed = 0
         budget = max_instructions
         while heap:
-            cycle, _, core = heapq.heappop(heap)
+            cycle, index, core = heapq.heappop(heap)
             if core.halted or core.cycle >= until_cycle:
                 continue
             # Run this core while it remains the globally earliest one:
@@ -54,7 +58,7 @@ class EventDrivenEngine:
                         self.instructions_executed += executed
                         return executed
             if not core.halted and core.cycle < until_cycle:
-                heapq.heappush(heap, (core.cycle, id(core), core))
+                heapq.heappush(heap, (core.cycle, index, core))
         if idle_to_boundary:
             self._idle_stragglers(until_cycle)
         self.instructions_executed += executed

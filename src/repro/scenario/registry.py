@@ -13,7 +13,10 @@ platform descriptions.  Three registries resolve those names:
 
 :data:`SOLVER_BACKENDS` (re-exported from
 :mod:`repro.thermal.backends`) resolves the ``solver_backend`` field of
-:class:`repro.core.framework.FrameworkConfig` the same way.
+:class:`repro.core.framework.FrameworkConfig` the same way, and
+:data:`EMULATION_BACKENDS` (re-exported from
+:mod:`repro.emulation.backends`) resolves its ``emulation_backend``
+field — the HW/SW-side counterpart to the thermal solver choice.
 
 All registries are open: experiments register their own entries with
 ``REGISTRY.register(name, obj)`` or as a decorator.  Custom entries are
@@ -23,6 +26,7 @@ custom generators belong in an importable module.
 """
 
 from repro.core.workload_model import ActivityProfile, ProfiledWorkload
+from repro.emulation.backends import EMULATION_BACKENDS
 from repro.policy import BUILTIN_POLICIES
 from repro.thermal.backends import SOLVER_BACKENDS
 from repro.thermal.floorplan import BUILTIN_FLOORPLANS
@@ -36,6 +40,7 @@ from repro.workloads import (
 )
 
 __all__ = [
+    "EMULATION_BACKENDS",
     "FLOORPLANS",
     "POLICIES",
     "Registry",

@@ -6,7 +6,10 @@ knobs and run bounds — as plain data.  ``to_dict()``/``from_dict()``
 round-trip losslessly through JSON, so scenarios can be named, saved,
 swept (:func:`repro.scenario.sweep.sweep`) and executed in bulk
 (:class:`repro.scenario.runner.Runner`) or from the command line
-(``python -m repro``).
+(``python -m repro``).  Both backend registries are sweepable knobs:
+``sweep(base, {"config.solver_backend": [...]})`` explores thermal
+solvers and ``sweep(base, {"config.emulation_backend": [...]})``
+races the exact engines against the fast windowed model.
 """
 
 import copy

@@ -98,6 +98,9 @@ class PowerTraceCapture:
             "scenario_digest": scenario_digest,
             "scenario": scenario_dict,
             "config": framework.config.to_dict(),
+            # Which EMULATION_BACKENDS entry produced this stream (None
+            # when the framework was handed a prebuilt workload object).
+            "emulation_backend": framework.emulation_backend,
             "floorplan": framework.floorplan.name,
             "windows": count,
             "trace_digest": framework.trace.digest(),

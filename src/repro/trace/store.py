@@ -17,6 +17,11 @@ at the dispatcher boundary:
   sweeps).  A *reactive* policy closes the loop (temperature feeds back
   into frequency, hence power), so for any other policy the full
   scenario participates and only an exact re-run replays.
+* ``emulation_backend`` is **not** thermal-side: the backend *produces*
+  the boundary stream (an approximate backend like ``windowed`` yields
+  slightly different power vectors than ``event_driven``), so it always
+  participates in the digest and recordings from different emulation
+  backends never alias.
 
 On disk the store shards archives as
 ``<root>/<digest[:2]>/<digest>.npz`` (+ JSON sidecars).  A store built
