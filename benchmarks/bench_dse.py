@@ -1,0 +1,60 @@
+"""Design-space exploration — the heterogeneous Pareto sweep at bench scale.
+
+The DAC 2006 paper's closing argument is that fast thermal emulation
+makes *design-space exploration* practical.  This bench runs a reduced
+big/little x tech-node x operating-point x grid space through
+:func:`repro.dse.driver.run_dse` — one ``Runner.run_batched`` call with
+trace-store replay dedup — and checks the structural properties the
+full ``python -m repro dse --check`` gate asserts at 1000+ configs:
+clean evaluation, grid-twin replays, and a front that actually prunes.
+"""
+
+from repro.dse.driver import run_dse
+from repro.dse.pareto import dominates, OBJECTIVES
+from repro.dse.space import generate_points
+from repro.util.records import Table
+from repro.util.units import MHZ
+
+BENCH_SPACE = dict(
+    big_counts=(1, 2),
+    little_counts=(0, 2, 4),
+    tech_nodes=("130nm", "90nm", "65nm"),
+    big_hz_steps=tuple(f * MHZ for f in (100, 250, 500)),
+    grids=((2, 2), (3, 3)),
+)
+
+
+def test_dse_pareto_sweep(benchmark, report):
+    points = generate_points(**BENCH_SPACE)
+    result = benchmark.pedantic(
+        run_dse, args=(points,), kwargs={"refine_top": 0},
+        rounds=1, iterations=1,
+    )
+    assert result["failed"] == 0, result["errors"]
+    assert result["evaluated"] == len(points)
+    # Every fine-grid twin replays its coarse-grid leader's recording.
+    assert result["replayed"] == len(points) // 2
+    assert result["front"], "empty Pareto front"
+    assert result["front_size"] + result["dominated"] == result["evaluated"]
+
+    # Spot-check the pruning: no front member dominates another.
+    front = result["front"]
+    for a in front:
+        for b in front:
+            if a is not b:
+                assert not dominates(a, b, OBJECTIVES)
+
+    table = Table(
+        ["design", "peak K", "avg W", "Ginstr/s"],
+        title=f"DSE bench: {result['evaluated']} designs "
+        f"({result['replayed']} replayed), front {result['front_size']}, "
+        f"{result['dominated']} dominated pruned",
+    )
+    for row in sorted(front, key=lambda r: r["throughput_ips"], reverse=True):
+        table.add_row(
+            row["design"],
+            f"{row['peak_temperature_k']:.2f}",
+            f"{row['avg_power_w']:.3f}",
+            f"{row['throughput_ips'] / 1e9:.3f}",
+        )
+    report("dse_pareto_sweep", str(table))

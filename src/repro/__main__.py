@@ -11,6 +11,7 @@ Usage::
     python -m repro policies [--verbose] [--json]
     python -m repro trace record|replay|info|list ...
     python -m repro farm serve|submit|status|workers|work ...
+    python -m repro dse [--check] [--out report.json] ...
 
 A spec file holds either one scenario (``Scenario.to_dict()`` form) or a
 suite (``{"name": ..., "scenarios": [...]}``); every run prints the
@@ -107,6 +108,11 @@ def main(argv=None):
         from repro.farm.cli import main as farm_main
 
         return farm_main(argv[1:])
+    if argv and argv[0] == "dse":
+        # Heterogeneous design-space exploration (repro.dse).
+        from repro.dse.cli import main as dse_main
+
+        return dse_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro",

@@ -19,7 +19,7 @@ from repro.policy.builtin import NoManagementPolicy
 from repro.core.vpcm import FREEZE_ETHERNET, Vpcm
 from repro.emulation.backends import make_emulation_backend
 from repro.emulation.ethernet import EthernetLink
-from repro.power.models import PowerModel
+from repro.power.models import PowerModel, make_tech_node
 from repro.thermal.backends import make_backend
 from repro.thermal.rc_network import network_for
 from repro.thermal.sensors import SensorBank
@@ -48,6 +48,7 @@ class FrameworkConfig:
     solver_backend: str | dict = "sparse_be"  # see repro.thermal.backends
     trace_stride: int = 1  # keep every k-th ThermalTrace sample
     emulation_backend: str | dict = "event_driven"  # see repro.emulation.backends
+    tech_node: str | dict | None = None  # see repro.power.models.TECH_NODES
 
     def __post_init__(self):
         if self.sampling_period_s <= 0:
@@ -66,6 +67,7 @@ class FrameworkConfig:
             )
         self._validate_solver_backend()
         self._validate_emulation_backend()
+        self._validate_tech_node()
         if not isinstance(self.trace_stride, int) or isinstance(
             self.trace_stride, bool
         ) or self.trace_stride < 1:
@@ -135,6 +137,19 @@ class FrameworkConfig:
                 f"got {type(spec).__name__}"
             )
         make_emulation_backend(spec)
+
+    def _validate_tech_node(self):
+        """Reject bad tech-node specs at config time; plain data only
+        (``None``, a :data:`repro.power.models.TECH_NODES` name, or a
+        full ``TechNode.to_dict()``) so the config stays
+        JSON-round-trippable."""
+        spec = self.tech_node
+        if spec is not None and not isinstance(spec, (str, dict)):
+            raise ValueError(
+                f"tech_node must be None, a registered name or a "
+                f"TechNode.to_dict() dict, got {type(spec).__name__}"
+            )
+        make_tech_node(spec)
 
     def to_dict(self):
         """JSON-compatible dict; ``from_dict`` round-trips it losslessly."""
@@ -246,9 +261,20 @@ class EmulationFramework:
         self.config = config or FrameworkConfig()
         self.platform = platform
         self.floorplan = floorplan
-        self.power_model = PowerModel(floorplan, library)
+        self.power_model = PowerModel(
+            floorplan, library, tech_node=self.config.tech_node
+        )
         self.policy = policy or NoManagementPolicy()
         cfg = self.config
+
+        # Heterogeneous platforms (mixed static core clocks) feed the
+        # power model a per-core frequency map every window; homogeneous
+        # ones keep the legacy single-global-clock path bit-for-bit.
+        self._hetero_core_hz = None
+        if platform is not None:
+            static_hz = platform.config.static_core_frequencies()
+            if len(set(static_hz.values())) > 1:
+                self._hetero_core_hz = static_hz
 
         self.vpcm = Vpcm(physical_hz=cfg.physical_hz, virtual_hz=cfg.virtual_hz)
         if platform is not None:
@@ -364,6 +390,17 @@ class EmulationFramework:
         # 1. The emulated platform runs one window while the sniffers count.
         window_cycles = self.vpcm.window_cycles(period)
         core_frequencies = self.policy.core_frequencies()
+        if self._hetero_core_hz is not None and cfg.virtual_hz > 0:
+            # Mixed core clocks: each core's effective frequency is its
+            # static clock scaled by the global DFS ratio; per-core
+            # policy overrides win over the platform-derived map.
+            scale = frequency / cfg.virtual_hz
+            merged = {
+                index: hz * scale for index, hz in self._hetero_core_hz.items()
+            }
+            if core_frequencies:
+                merged.update(core_frequencies)
+            core_frequencies = merged
         progress_cycles = window_cycles
         if core_frequencies and frequency > 0:
             # Per-core DFS: throttled cores make proportionally less

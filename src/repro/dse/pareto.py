@@ -1,0 +1,62 @@
+"""Pareto-dominance pruning over design-point metric rows.
+
+A metric row is a plain dict carrying at least the objective keys.  The
+default objectives are the DSE report's three axes: peak die
+temperature and average platform power are minimized, workload
+throughput is maximized.
+"""
+
+#: (key, sense) objective table; sense is ``"min"`` or ``"max"``.
+OBJECTIVES = (
+    ("peak_temperature_k", "min"),
+    ("avg_power_w", "min"),
+    ("throughput_ips", "max"),
+)
+
+
+def dominates(a, b, objectives=OBJECTIVES):
+    """True when row ``a`` Pareto-dominates row ``b``.
+
+    ``a`` dominates ``b`` when it is at least as good on every
+    objective and strictly better on at least one; ties on every
+    objective dominate in neither direction.
+    """
+    strictly_better = False
+    for key, sense in objectives:
+        av, bv = a[key], b[key]
+        if sense == "min":
+            if av > bv:
+                return False
+            if av < bv:
+                strictly_better = True
+        elif sense == "max":
+            if av < bv:
+                return False
+            if av > bv:
+                strictly_better = True
+        else:
+            raise ValueError(f"objective sense must be 'min' or 'max', "
+                             f"got {sense!r} for {key!r}")
+    return strictly_better
+
+
+def pareto_front(rows, objectives=OBJECTIVES):
+    """Split ``rows`` into ``(front, dominated)``, preserving order.
+
+    A row lands on the front iff no other row dominates it; rows with
+    identical objective values all stay on the front (neither dominates
+    the other).  O(n^2) with early exit — fine for the few-thousand-row
+    spaces the DSE driver evaluates.
+    """
+    rows = list(rows)
+    front, dominated = [], []
+    for i, row in enumerate(rows):
+        if any(
+            dominates(other, row, objectives)
+            for j, other in enumerate(rows)
+            if j != i
+        ):
+            dominated.append(row)
+        else:
+            front.append(row)
+    return front, dominated

@@ -1,0 +1,187 @@
+"""Heterogeneous design-space generation.
+
+A :class:`DesignPoint` is one platform configuration on five axes:
+
+* ``big`` — number of big cores (PowerPC405 hard cores, ARM11-class
+  power rectangles on the floorplan);
+* ``little`` — number of little cores (Microblaze soft cores,
+  ARM7-class rectangles) fixed at 100 MHz;
+* ``tech_node`` — a :data:`repro.power.models.TECH_NODES` name whose
+  V(f) ladder scales dynamic power as ``f * V(f)^2``;
+* ``big_hz`` — the big cluster's operating-point clock (also the
+  platform/system clock);
+* ``spreader_resolution`` — the thermal-grid fidelity axis.  Under the
+  open-loop policy the grid is a thermal-side knob excluded from the
+  scenario trace digest, so the finer-grid twin of every design point
+  *replays* the coarse twin's recorded boundary stream instead of
+  re-emulating — the Figure 3 record-once/replay-many pattern at DSE
+  scale.
+
+``point_scenario`` turns a point into a runnable declarative
+:class:`~repro.scenario.spec.Scenario`: a profiled stress workload over
+the generated platform, the parameterized ``"hetero"`` floorplan, and a
+:class:`~repro.core.framework.FrameworkConfig` carrying the tech node.
+"""
+
+from dataclasses import dataclass
+
+from repro.core.framework import FrameworkConfig
+from repro.core.workload_model import ActivityProfile
+from repro.mpsoc.platform import CoreConfig, MPSoCConfig
+from repro.scenario.spec import Scenario
+from repro.util.units import KB, MHZ
+
+BIG_SPEC = "ppc405"
+LITTLE_SPEC = "microblaze"
+LITTLE_HZ = 100 * MHZ
+
+DEFAULT_BIG_COUNTS = (1, 2, 3, 4)
+DEFAULT_LITTLE_COUNTS = (0, 1, 2, 3, 4, 5)
+DEFAULT_TECH_NODES = ("130nm", "90nm", "65nm")
+DEFAULT_BIG_HZ = tuple(
+    f * MHZ for f in (100, 150, 200, 250, 300, 400, 500)
+)
+DEFAULT_GRIDS = ((2, 2), (3, 3))
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One heterogeneous platform configuration of the design space."""
+
+    big: int
+    little: int
+    tech_node: str
+    big_hz: float
+    spreader_resolution: tuple = (3, 3)
+
+    def __post_init__(self):
+        if self.big < 1:
+            raise ValueError(
+                f"a design point needs at least one big core, got {self.big}"
+            )
+        if self.little < 0:
+            raise ValueError(f"negative little-core count {self.little}")
+        if self.big_hz <= 0:
+            raise ValueError(f"big-cluster clock must be positive, "
+                             f"got {self.big_hz}")
+        object.__setattr__(
+            self, "spreader_resolution", tuple(self.spreader_resolution)
+        )
+
+    @property
+    def label(self):
+        grid = "x".join(str(n) for n in self.spreader_resolution)
+        return (
+            f"dse_{self.big}b{self.little}l_{self.tech_node}_"
+            f"{int(self.big_hz / MHZ)}MHz_g{grid}"
+        )
+
+    def to_dict(self):
+        return {
+            "big": self.big,
+            "little": self.little,
+            "tech_node": self.tech_node,
+            "big_hz": self.big_hz,
+            "spreader_resolution": list(self.spreader_resolution),
+        }
+
+
+def generate_points(
+    big_counts=DEFAULT_BIG_COUNTS,
+    little_counts=DEFAULT_LITTLE_COUNTS,
+    tech_nodes=DEFAULT_TECH_NODES,
+    big_hz_steps=DEFAULT_BIG_HZ,
+    grids=DEFAULT_GRIDS,
+):
+    """Cross product of the five axes, grid axis innermost so each
+    coarse-grid leader immediately precedes its fine-grid replayer."""
+    return [
+        DesignPoint(big, little, node, hz, grid)
+        for big in big_counts
+        for little in little_counts
+        for node in tech_nodes
+        for hz in big_hz_steps
+        for grid in grids
+    ]
+
+
+def default_points():
+    """The default space: 4 x 6 core mixes x 3 nodes x 7 operating
+    points x 2 grids = 1008 configurations."""
+    return generate_points()
+
+
+def stress_profile(big, little):
+    """A steady-state activity signature for a big/little platform.
+
+    Big cores run hot (0.85), littles lighter (0.6); caches, private
+    memories, the shared memory and the bus carry proportionate traffic.
+    Iteration size is arbitrary (it cancels out of the utilizations) but
+    instructions-per-iteration make throughput comparable across mixes.
+    """
+    utilization = {}
+    for i in range(big + little):
+        utilization[("core", i)] = 0.85 if i < big else 0.6
+        utilization[("icache", i)] = 0.5
+        utilization[("private_mem", i)] = 0.3
+    utilization[("shared_mem", None)] = 0.25
+    utilization[("bus", None)] = 0.3
+    return ActivityProfile(
+        name=f"dse_stress_{big}b{little}l",
+        cycles_per_iteration=2000.0,
+        utilization=utilization,
+        instructions_per_iteration=1500.0 * (big + little),
+    )
+
+
+def point_scenario(point, max_windows=12, sampling_period_s=1e-4):
+    """The declarative scenario evaluating one :class:`DesignPoint`."""
+    cores = [
+        CoreConfig(f"big{i}", spec=BIG_SPEC, frequency_hz=point.big_hz)
+        for i in range(point.big)
+    ]
+    cores += [
+        CoreConfig(f"lil{i}", spec=LITTLE_SPEC, frequency_hz=LITTLE_HZ)
+        for i in range(point.little)
+    ]
+    platform = MPSoCConfig(
+        name=(
+            f"plat_{point.big}x{BIG_SPEC}_{point.little}x{LITTLE_SPEC}_"
+            f"{int(point.big_hz / MHZ)}MHz"
+        ),
+        cores=cores,
+        private_mem_size=4 * KB,
+        shared_mem_size=16 * KB,
+    )
+    profile = stress_profile(point.big, point.little)
+    return Scenario(
+        name=point.label,
+        workload={
+            "name": "profiled",
+            "params": {
+                "profile": profile.to_dict(),
+                # Far more iterations than max_windows can complete, so
+                # every design point is measured at steady state and
+                # throughput is progress-limited, not workload-limited.
+                "total_iterations": 1_000_000,
+            },
+        },
+        platform=platform,
+        floorplan={
+            "name": "hetero",
+            "params": {"big": point.big, "little": point.little},
+        },
+        policy="none",
+        config=FrameworkConfig(
+            sampling_period_s=sampling_period_s,
+            virtual_hz=point.big_hz,
+            tech_node=point.tech_node,
+            spreader_resolution=point.spreader_resolution,
+        ),
+        max_windows=max_windows,
+        description=(
+            f"{point.big} big {BIG_SPEC} @ {point.big_hz / MHZ:g} MHz + "
+            f"{point.little} little {LITTLE_SPEC} @ {LITTLE_HZ / MHZ:g} MHz, "
+            f"{point.tech_node}"
+        ),
+    )

@@ -113,6 +113,29 @@ class MPSoCConfig:
         if len(set(names)) != len(names):
             raise ValueError(f"{self.name}: duplicate core names")
 
+    # -- heterogeneity ----------------------------------------------------------
+    def core_class_counts(self):
+        """Multiset of core spec names, e.g. ``{"ppc405": 2, "microblaze": 2}``."""
+        counts = {}
+        for core in self.cores:
+            counts[core.spec] = counts.get(core.spec, 0) + 1
+        return counts
+
+    def static_core_frequencies(self):
+        """Per-core-index static clock (explicit or the spec default)."""
+        return {
+            index: (core.frequency_hz or CORE_SPECS[core.spec].default_hz)
+            for index, core in enumerate(self.cores)
+        }
+
+    @property
+    def is_heterogeneous(self):
+        """True when the platform mixes core specs or static clocks."""
+        return (
+            len(self.core_class_counts()) > 1
+            or len(set(self.static_core_frequencies().values())) > 1
+        )
+
     def to_dict(self):
         """Lossless JSON-compatible dict (``from_dict`` round-trips it)."""
         return {

@@ -20,6 +20,8 @@ Utilization definitions (per window of ``W`` virtual cycles):
 from dataclasses import dataclass, field
 
 from repro.power.library import DEFAULT_LIBRARY
+from repro.util.registry import Registry
+from repro.util.units import MHZ
 
 ACTIVE_WEIGHT = 1.0
 STALL_WEIGHT = 0.4
@@ -28,6 +30,185 @@ IDLE_WEIGHT = 0.05
 
 def _clamp01(value):
     return 0.0 if value < 0.0 else (1.0 if value > 1.0 else value)
+
+
+# -- technology nodes: voltage/frequency operating points ----------------------
+#
+# The paper's DFS policy scales frequency at a fixed supply voltage, so
+# :meth:`repro.power.library.PowerClass.power_at` is linear in f.  Real
+# DVFS ladders (the Lumos-style models in PAPERS.md) drop the supply
+# voltage together with the clock, so dynamic power falls as f * V(f)^2.
+# A :class:`TechNode` carries that V(f) table; when a
+# :class:`PowerModel` is built with one, every component power is
+# additionally scaled by ``(V(f) / V_nominal)^2``.  With no tech node
+# (the default) behaviour is bit-for-bit the legacy fixed-voltage model.
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """One (frequency, supply voltage) point of a DVFS ladder."""
+
+    frequency_hz: float
+    voltage_v: float
+
+    def __post_init__(self):
+        if self.frequency_hz <= 0:
+            raise ValueError(f"operating point frequency must be positive, "
+                             f"got {self.frequency_hz}")
+        if self.voltage_v <= 0:
+            raise ValueError(f"operating point voltage must be positive, "
+                             f"got {self.voltage_v}")
+
+    def to_dict(self):
+        return {"frequency_hz": self.frequency_hz, "voltage_v": self.voltage_v}
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class TechNode:
+    """A technology node's DVFS ladder: V(f) by piecewise-linear
+    interpolation over its :class:`OperatingPoint` table.
+
+    ``voltage_scale(f)`` is the factor ``(V(f) / V_nominal)^2`` that the
+    power model multiplies into every component's dynamic power;
+    frequencies outside the table clamp to the end points (a clock
+    slower than the lowest ladder step cannot drop the supply further).
+    """
+
+    name: str
+    nominal_voltage_v: float
+    points: tuple  # OperatingPoints, ascending in frequency
+    description: str = ""
+
+    def __post_init__(self):
+        if self.nominal_voltage_v <= 0:
+            raise ValueError(f"{self.name}: nominal voltage must be positive")
+        points = tuple(
+            OperatingPoint.from_dict(p) if isinstance(p, dict) else p
+            for p in self.points
+        )
+        if not points:
+            raise ValueError(f"{self.name}: a tech node needs operating points")
+        freqs = [p.frequency_hz for p in points]
+        if any(b <= a for a, b in zip(freqs, freqs[1:])):
+            raise ValueError(
+                f"{self.name}: operating points must strictly ascend in "
+                f"frequency, got {freqs}"
+            )
+        object.__setattr__(self, "points", points)
+
+    def frequencies(self):
+        """The ladder's frequency steps, ascending (policy step tables)."""
+        return tuple(p.frequency_hz for p in self.points)
+
+    def voltage_at(self, frequency_hz):
+        """Supply voltage for a clock, piecewise-linear with end clamps."""
+        if frequency_hz <= 0:
+            raise ValueError(f"{self.name}: frequency must be positive, "
+                             f"got {frequency_hz}")
+        points = self.points
+        if frequency_hz <= points[0].frequency_hz:
+            return points[0].voltage_v
+        if frequency_hz >= points[-1].frequency_hz:
+            return points[-1].voltage_v
+        for lo, hi in zip(points, points[1:]):
+            if frequency_hz <= hi.frequency_hz:
+                span = hi.frequency_hz - lo.frequency_hz
+                frac = (frequency_hz - lo.frequency_hz) / span
+                return lo.voltage_v + frac * (hi.voltage_v - lo.voltage_v)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def voltage_scale(self, frequency_hz):
+        """Dynamic-power voltage factor ``(V(f) / V_nominal)^2``."""
+        return (self.voltage_at(frequency_hz) / self.nominal_voltage_v) ** 2
+
+    def to_dict(self):
+        return {
+            "name": self.name,
+            "nominal_voltage_v": self.nominal_voltage_v,
+            "points": [p.to_dict() for p in self.points],
+            "description": self.description,
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(**data)
+
+
+TECH_NODES = Registry("tech node")
+
+
+def _ladder(*steps):
+    return tuple(OperatingPoint(f * MHZ, v) for f, v in steps)
+
+
+@TECH_NODES.register("130nm")
+def _tech_130nm():
+    """The paper's node (Table 1 is 130 nm bulk CMOS)."""
+    return TechNode(
+        name="130nm",
+        nominal_voltage_v=1.2,
+        points=_ladder((50, 0.85), (100, 0.95), (200, 1.05),
+                       (400, 1.15), (600, 1.2)),
+        description="130 nm bulk CMOS (Table 1's node)",
+    )
+
+
+@TECH_NODES.register("90nm")
+def _tech_90nm():
+    return TechNode(
+        name="90nm",
+        nominal_voltage_v=1.1,
+        points=_ladder((50, 0.75), (100, 0.85), (200, 0.95),
+                       (400, 1.05), (600, 1.1)),
+        description="90 nm bulk CMOS shrink",
+    )
+
+
+@TECH_NODES.register("65nm")
+def _tech_65nm():
+    return TechNode(
+        name="65nm",
+        nominal_voltage_v=1.0,
+        points=_ladder((50, 0.7), (100, 0.8), (200, 0.9),
+                       (400, 0.95), (600, 1.0)),
+        description="65 nm bulk CMOS shrink",
+    )
+
+
+def make_tech_node(spec=None):
+    """Resolve a tech-node spec to a :class:`TechNode` (or ``None``).
+
+    ``spec`` may be ``None`` (fixed-voltage legacy model), a registered
+    :data:`TECH_NODES` name, a full ``TechNode.to_dict()`` dict (the
+    JSON form that rides inside
+    :class:`repro.core.framework.FrameworkConfig`), or an already
+    constructed :class:`TechNode`.
+    """
+    if spec is None:
+        return None
+    if isinstance(spec, TechNode):
+        return spec
+    if isinstance(spec, str):
+        return TECH_NODES.get(spec)()
+    if isinstance(spec, dict):
+        if "name" not in spec:
+            raise ValueError("a tech-node dict needs a 'name' entry")
+        if "points" in spec:
+            return TechNode.from_dict(spec)
+        unknown = set(spec) - {"name"}
+        if unknown:
+            raise ValueError(
+                f"unknown tech-node keys: {', '.join(sorted(unknown))} "
+                f"(pass a registered name or a full TechNode.to_dict())"
+            )
+        return TECH_NODES.get(spec["name"])()
+    raise TypeError(
+        f"tech node must be a name, dict or TechNode, got {type(spec).__name__}"
+    )
 
 
 @dataclass
@@ -49,11 +230,18 @@ class ActivityVector:
 
 
 class PowerModel:
-    """Turns platform statistics into per-floorplan-component power."""
+    """Turns platform statistics into per-floorplan-component power.
 
-    def __init__(self, floorplan, library=None):
+    With a ``tech_node`` (any :func:`make_tech_node` spec), component
+    powers additionally scale with ``(V(f) / V_nominal)^2`` so DVFS
+    steps change voltage as well as frequency; without one, voltage is
+    fixed (the paper's model).
+    """
+
+    def __init__(self, floorplan, library=None, tech_node=None):
         self.floorplan = floorplan
         self.library = library or DEFAULT_LIBRARY
+        self.tech_node = make_tech_node(tech_node)
         for comp in floorplan.active_components():
             if comp.power_class not in self.library:
                 raise KeyError(
@@ -106,9 +294,12 @@ class PowerModel:
 
         ``frequency_hz`` scales every component (global DFS, the paper's
         policy); ``core_frequencies`` optionally overrides per core index
-        for per-core DFS exploration.
+        for per-core DFS and heterogeneous-platform exploration.  A tech
+        node folds its voltage factor into each component at that
+        component's own effective clock.
         """
         powers = {}
+        node = self.tech_node
         for comp in self.floorplan.components:
             if comp.is_filler or comp.activity_source is None:
                 powers[comp.name] = 0.0
@@ -122,7 +313,10 @@ class PowerModel:
                 and comp.activity_source[1] in core_frequencies
             ):
                 f = core_frequencies[comp.activity_source[1]]
-            powers[comp.name] = cls.power_at(util, f)
+            power = cls.power_at(util, f)
+            if node is not None and power > 0.0:
+                power *= node.voltage_scale(cls.ref_hz if f is None else f)
+            powers[comp.name] = power
         return powers
 
     def total_power(self, activity, frequency_hz=None, core_frequencies=None):

@@ -942,6 +942,120 @@ def policy_comparison_artifact():
     )
 
 
+# -- Pareto front: heterogeneous design-space exploration -----------------------
+
+#: The reduced DSE space the report sweeps (the full >= 1000-point space
+#: is the ``python -m repro dse --check`` CI gate; the report's job is to
+#: show the front, not to soak-test the sweep): 2 big x 3 little x 3
+#: nodes x 3 operating points x 2 grids = 108 configurations.
+DSE_REPORT_SPACE = dict(
+    big_counts=(1, 2),
+    little_counts=(0, 2, 4),
+    tech_nodes=("130nm", "90nm", "65nm"),
+    big_hz_steps=tuple(f * MHZ for f in (100, 250, 500)),
+    grids=((2, 2), (3, 3)),
+)
+
+
+def _pareto_front_extract(results):
+    from repro.dse.driver import run_dse
+    from repro.dse.space import generate_points
+
+    points = generate_points(**DSE_REPORT_SPACE)
+    report = run_dse(points, refine_top=1)
+    values = {
+        "evaluated": float(report["evaluated"]),
+        "failed": float(report["failed"]),
+        "replayed": float(report["replayed"]),
+        "front_size": float(report["front_size"]),
+        "partition_consistent": float(
+            report["front_size"] + report["dominated"] == report["evaluated"]
+        ),
+    }
+    front = sorted(
+        report["front"], key=lambda r: r["throughput_ips"], reverse=True
+    )
+    table = Table(
+        ["design", "big", "little", "node", "clock", "peak K", "avg W",
+         "Ginstr/s"],
+        title="Pareto front of the heterogeneous design space "
+        "(minimize peak temperature and power, maximize throughput; "
+        f"{report['dominated']} dominated designs pruned)",
+    )
+    for row in front[:12]:
+        table.add_row(
+            row["design"],
+            row["big"],
+            row["little"],
+            row["tech_node"],
+            f"{row['big_hz'] / MHZ:g} MHz",
+            f"{row['peak_temperature_k']:.2f}",
+            f"{row['avg_power_w']:.3f}",
+            f"{row['throughput_ips'] / 1e9:.3f}",
+        )
+    if len(front) > 12:
+        table.add_row(f"... {len(front) - 12} more front designs",
+                      "", "", "", "", "", "", "")
+    refinement_lines = []
+    for design, comparison in report["policy_refinement"].items():
+        for outcome in comparison.get("outcomes", []):
+            refinement_lines.append(
+                f"  {design} under {outcome['policy']!r}: peak "
+                f"{outcome['peak_temperature_k']:.2f} K, throughput loss "
+                f"{outcome['throughput_loss']:.0%}"
+            )
+    note = (
+        f"Every configuration ran through one Runner.run_batched call; "
+        f"the trace store deduped the {report['replayed']} fine-grid "
+        f"twins into replays of their coarse-grid leaders' recorded "
+        f"boundary streams (record once, fan out — the Figure 3 pattern "
+        f"at DSE scale).  Dynamic power scales as f x V(f)^2 along each "
+        f"tech node's operating-point ladder, so a 65 nm design at "
+        f"100 MHz and a 130 nm design at 500 MHz bracket the "
+        f"temperature-throughput trade-off.\n\n"
+        f"Top-throughput front design re-raced against a reactive "
+        f"policy:\n" + "\n".join(refinement_lines)
+    )
+    return values, f"{markdown_table(table)}\n\n{note}"
+
+
+@ARTIFACTS.register("pareto_front")
+def pareto_front_artifact():
+    num = 1
+    for axis in DSE_REPORT_SPACE.values():
+        num *= len(axis)
+    return Artifact(
+        name="pareto_front",
+        title="Pareto front — heterogeneous MPSoC design-space exploration",
+        paper_ref="Section 7 (methodology generalized)",
+        description="Sweeps a reduced big/little x tech-node x "
+        "operating-point x thermal-grid space through the batched "
+        "runner with trace-store replay dedup, prunes the designs to "
+        "their Pareto front (peak temperature vs average power vs "
+        "throughput) and re-races the top design under a reactive "
+        "policy; `python -m repro dse --check` runs the full >= 1000-"
+        "configuration space as the CI gate.",
+        extract=_pareto_front_extract,
+        checks=(
+            Check("evaluated", expected=float(num)),
+            Check("failed", expected=0.0),
+            Check(
+                "replayed",
+                expected=float(num // 2),
+                note="every fine-grid twin replays its coarse-grid "
+                "leader's recorded boundary stream",
+            ),
+            Check("front_size", low=1.0,
+                  note="a non-empty front: the axes genuinely trade off"),
+            Check(
+                "partition_consistent",
+                expected=1.0,
+                note="front + dominated partitions the evaluated set",
+            ),
+        ),
+    )
+
+
 # -- Figure 6: thermal runtime with/without DFS ---------------------------------
 
 

@@ -110,6 +110,26 @@ def matrix_tm_unmanaged():
     return scenario
 
 
+@PRESETS.register("hetero_biglittle")
+def hetero_biglittle():
+    """A heterogeneous big.LITTLE-style platform on the 65 nm node: two
+    PowerPC405-class big cores at 400 MHz beside two Microblaze-class
+    littles at 100 MHz, on the parameterized ``hetero`` floorplan."""
+    from repro.dse.space import point_scenario
+    from repro.dse.space import DesignPoint
+
+    scenario = point_scenario(
+        DesignPoint(big=2, little=2, tech_node="65nm", big_hz=400 * MHZ),
+        max_windows=40,
+    )
+    scenario.name = "hetero_biglittle"
+    scenario.description = (
+        "2 big ppc405 @ 400 MHz + 2 little microblaze @ 100 MHz, 65 nm "
+        "V(f) power scaling, parameterized hetero floorplan"
+    )
+    return scenario
+
+
 @PRESETS.register("matrix_tm_cached")
 def matrix_tm_cached():
     """The DFS run on the cached-LU solver backend (factorize once,

@@ -61,8 +61,10 @@ class Scenario:
     """One fully described co-emulation run.
 
     ``platform`` may be ``None`` for platform-less (profiled) runs; the
-    workload spec must then produce the workload itself.  ``floorplan``,
-    the policy name and the workload name resolve through the registries
+    workload spec must then produce the workload itself.  ``floorplan``
+    (a registered name, or a ``{"name": ..., "params": {...}}`` dict for
+    parameterized factories like ``"hetero"``), the policy name and the
+    workload name resolve through the registries
     in :mod:`repro.scenario.registry`; the thermal solver backend rides
     inside ``config.solver_backend`` (a
     :data:`~repro.scenario.registry.SOLVER_BACKENDS` name or
@@ -74,7 +76,7 @@ class Scenario:
     name: str
     workload: WorkloadSpec
     platform: MPSoCConfig | None = None
-    floorplan: str = "4xarm11"
+    floorplan: str | dict = "4xarm11"
     policy: PolicySpec = field(default_factory=PolicySpec)
     config: FrameworkConfig = field(default_factory=FrameworkConfig)
     max_emulated_seconds: float | None = None
@@ -91,6 +93,14 @@ class Scenario:
             self.platform = MPSoCConfig.from_dict(self.platform)
         if isinstance(self.config, dict):
             self.config = FrameworkConfig.from_dict(self.config)
+        if isinstance(self.floorplan, dict):
+            if "name" not in self.floorplan:
+                raise ValueError("a floorplan dict needs a 'name' entry")
+            unknown = set(self.floorplan) - {"name", "params"}
+            if unknown:
+                raise ValueError(
+                    f"unknown floorplan keys: {', '.join(sorted(unknown))}"
+                )
 
     # -- serialization -----------------------------------------------------------
     def to_dict(self):
@@ -99,7 +109,7 @@ class Scenario:
             "name": self.name,
             "description": self.description,
             "platform": self.platform.to_dict() if self.platform else None,
-            "floorplan": self.floorplan,
+            "floorplan": copy.deepcopy(self.floorplan),
             "workload": self.workload.to_dict(),
             "policy": self.policy.to_dict(),
             "config": self.config.to_dict(),
@@ -129,7 +139,12 @@ class Scenario:
     def build(self, library=None):
         """Wire the scenario into a ready-to-run :class:`EmulationFramework`."""
         platform = build_platform(self.platform) if self.platform is not None else None
-        floorplan = FLOORPLANS.get(self.floorplan)()
+        if isinstance(self.floorplan, dict):
+            floorplan = FLOORPLANS.get(self.floorplan["name"])(
+                **self.floorplan.get("params", {})
+            )
+        else:
+            floorplan = FLOORPLANS.get(self.floorplan)()
         policy = POLICIES.get(self.policy.name)(**self.policy.params)
         generator = WORKLOADS.get(self.workload.name)
         workload = generator(platform, floorplan, **self.workload.params)

@@ -278,9 +278,86 @@ def floorplan_4xarm11():
     )
 
 
+def floorplan_hetero(big=2, little=2, big_class="arm11", little_class="arm7"):
+    """A parameterized big.LITTLE-style floorplan for heterogeneous DSE.
+
+    ``big`` big-class cores occupy one strip per core at the top of the
+    die, ``little`` little-class cores one strip per core at the bottom,
+    each with its I-cache and private memory alongside; the shared
+    memory and a bus region sit in the centre.  Core activity indices
+    follow platform order: big cores first (``("core", 0..big-1)``),
+    then little cores — the :mod:`repro.dse` space generator builds its
+    :class:`~repro.mpsoc.platform.MPSoCConfig` core lists in the same
+    order.
+
+    The name (hence :meth:`Floorplan.fingerprint` and the shared
+    RC-network structure cache) is deterministic per (counts, classes),
+    so a sweep over thousands of configs with the same core mix shares
+    one grid assembly.
+    """
+    from repro.power.library import DEFAULT_LIBRARY
+
+    if big < 0 or little < 0 or big + little < 1:
+        raise ValueError(
+            f"floorplan_hetero needs non-negative core counts with at "
+            f"least one core, got big={big}, little={little}"
+        )
+    lib = DEFAULT_LIBRARY
+    icache_area = lib.area("icache_8k_dm")
+    mem_area = lib.area("sram_32k")
+    bus_area = lib.area("noc_switch")  # a bus region, switch-class sized
+
+    name = f"hetero_{big}x{big_class}_{little}x{little_class}"
+    gap = 0.2e-3
+    side_area = icache_area + mem_area
+
+    def core_row(height, core_area):
+        # Row width: one core plus its I-cache and private memory.
+        return (core_area + side_area) / height + 3 * gap
+
+    big_area = lib.area(big_class)
+    little_area = lib.area(little_class)
+    big_h = max(0.8e-3, (big_area / 2.0) ** 0.5)
+    little_h = max(0.6e-3, (little_area / 2.0) ** 0.5)
+    centre_h = 0.9e-3
+    die_width = max(
+        core_row(big_h, big_area) if big else 0.0,
+        core_row(little_h, little_area) if little else 0.0,
+        (mem_area + bus_area) / centre_h + 3 * gap,
+    )
+
+    b = _RowBuilder(name, die_width)
+    for i in range(big):
+        b.row(big_h, [
+            (f"{big_class}_{i}", big_class, big_area, ("core", i), True),
+            gap,
+            (f"icache_{i}", "icache_8k_dm", icache_area, ("icache", i), False),
+            gap,
+            (f"privmem_{i}", "sram_32k", mem_area, ("private_mem", i), False),
+        ])
+    b.row(centre_h, [
+        ("shared_mem", "sram_32k", mem_area, ("shared_mem", None), False),
+        gap,
+        ("bus", "noc_switch", bus_area, ("bus", None), False),
+    ])
+    for j in range(little):
+        i = big + j
+        b.row(little_h, [
+            (f"{little_class}_{i}", little_class, little_area, ("core", i), True),
+            gap,
+            (f"icache_{i}", "icache_8k_dm", icache_area, ("icache", i), False),
+            gap,
+            (f"privmem_{i}", "sram_32k", mem_area, ("private_mem", i), False),
+        ])
+    return b.build()
+
+
 # Named floorplan factories; ``repro.scenario`` seeds its floorplan
-# registry from this map so scenario specs can say "floorplan": "4xarm11".
+# registry from this map so scenario specs can say "floorplan": "4xarm11"
+# (or, for parameterized entries like "hetero", a
+# ``{"name": ..., "params": {...}}`` dict).
 BUILTIN_FLOORPLANS = {
     "4xarm7": floorplan_4xarm7,
     "4xarm11": floorplan_4xarm11,
+    "hetero": floorplan_hetero,
 }

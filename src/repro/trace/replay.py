@@ -49,6 +49,11 @@ def _resolve_floorplan(spec, archive):
         from repro.scenario.registry import FLOORPLANS
 
         return FLOORPLANS.get(spec)()
+    if isinstance(spec, dict):
+        # The scenario layer's parameterized form ({"name", "params"}).
+        from repro.scenario.registry import FLOORPLANS
+
+        return FLOORPLANS.get(spec["name"])(**spec.get("params", {}))
     return spec
 
 
@@ -239,6 +244,11 @@ class ReplaySource:
         recorded_plan = scenario.get("floorplan") or self.archive.metadata.get(
             "floorplan"
         )
+        if isinstance(recorded_plan, dict):
+            # Parameterized floorplans compare by built name: the
+            # capture side records ``framework.floorplan.name``, which
+            # the factory derives deterministically from its params.
+            recorded_plan = _resolve_floorplan(recorded_plan, self.archive).name
         if recorded_plan is not None and self.floorplan.name != recorded_plan:
             changed["floorplan"] = self.floorplan.name
         if self.properties is not None:

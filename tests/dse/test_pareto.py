@@ -1,0 +1,102 @@
+"""Dominance and Pareto-front pruning — pure-function unit tests."""
+
+import pytest
+
+from repro.dse.pareto import OBJECTIVES, dominates, pareto_front
+
+# A two-objective space: minimize cost, maximize value.
+OBJS = (("cost", "min"), ("value", "max"))
+
+
+def row(cost, value, name=""):
+    return {"cost": cost, "value": value, "name": name}
+
+
+def test_dominates_strictly_better_on_both():
+    assert dominates(row(1.0, 10.0), row(2.0, 5.0), OBJS)
+
+
+def test_dominates_requires_at_least_one_strict_improvement():
+    a, b = row(1.0, 10.0), row(1.0, 10.0)
+    assert not dominates(a, b, OBJS)
+    assert not dominates(b, a, OBJS)
+
+
+def test_dominates_equal_on_one_better_on_other():
+    assert dominates(row(1.0, 10.0), row(1.0, 5.0), OBJS)
+    assert dominates(row(1.0, 10.0), row(2.0, 10.0), OBJS)
+
+
+def test_dominates_is_antisymmetric_on_tradeoffs():
+    cheap = row(1.0, 5.0)
+    valuable = row(3.0, 10.0)
+    assert not dominates(cheap, valuable, OBJS)
+    assert not dominates(valuable, cheap, OBJS)
+
+
+def test_dominates_respects_max_direction():
+    # On a pure-max objective the larger value dominates.
+    objs = (("value", "max"),)
+    assert dominates(row(0, 2.0), row(0, 1.0), objs)
+    assert not dominates(row(0, 1.0), row(0, 2.0), objs)
+
+
+def test_pareto_front_prunes_dominated_points():
+    rows = [
+        row(1.0, 10.0, "best"),
+        row(2.0, 8.0, "dominated_by_best"),
+        row(0.5, 3.0, "cheap_tradeoff"),
+        row(3.0, 12.0, "expensive_tradeoff"),
+        row(4.0, 1.0, "dominated_by_everything"),
+    ]
+    front, dominated = pareto_front(rows, OBJS)
+    assert {r["name"] for r in front} == {
+        "best", "cheap_tradeoff", "expensive_tradeoff"
+    }
+    assert {r["name"] for r in dominated} == {
+        "dominated_by_best", "dominated_by_everything"
+    }
+
+
+def test_pareto_front_partitions_the_input():
+    rows = [row(float(i % 7), float(i % 5), str(i)) for i in range(30)]
+    front, dominated = pareto_front(rows, OBJS)
+    assert len(front) + len(dominated) == len(rows)
+    # Nothing on the front dominates anything else on the front.
+    for a in front:
+        for b in front:
+            if a is not b:
+                assert not dominates(a, b, OBJS)
+    # Everything pruned is dominated by at least one front member.
+    for d in dominated:
+        assert any(dominates(f, d, OBJS) for f in front)
+
+
+def test_pareto_front_preserves_input_order():
+    rows = [row(3.0, 1.0, "c"), row(1.0, 5.0, "a"), row(2.0, 3.0, "b")]
+    front, _ = pareto_front(rows, OBJS)
+    names = [r["name"] for r in front]
+    assert names == sorted(names, key=lambda n: [r["name"] for r in rows].index(n))
+
+
+def test_pareto_front_all_tied_rows_survive():
+    rows = [row(1.0, 1.0, str(i)) for i in range(4)]
+    front, dominated = pareto_front(rows, OBJS)
+    assert len(front) == 4 and not dominated
+
+
+def test_pareto_front_empty_input():
+    front, dominated = pareto_front([], OBJS)
+    assert front == [] and dominated == []
+
+
+def test_default_objectives_shape():
+    names = [name for name, _ in OBJECTIVES]
+    directions = {direction for _, direction in OBJECTIVES}
+    assert names == ["peak_temperature_k", "avg_power_w", "throughput_ips"]
+    assert directions <= {"min", "max"}
+
+
+def test_dominates_rejects_unknown_direction():
+    with pytest.raises(ValueError):
+        dominates(row(1, 1), row(2, 2), (("cost", "sideways"),))

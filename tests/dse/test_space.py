@@ -1,0 +1,114 @@
+"""Design-point generation and the heterogeneous scenario recipe."""
+
+import json
+
+import pytest
+
+from repro.dse.space import (
+    DEFAULT_GRIDS,
+    DesignPoint,
+    default_points,
+    generate_points,
+    point_scenario,
+    stress_profile,
+)
+from repro.scenario.spec import Scenario
+from repro.trace.store import scenario_trace_digest
+from repro.util.units import MHZ
+
+
+def test_design_point_validation():
+    with pytest.raises(ValueError):
+        DesignPoint(big=0, little=2, tech_node="65nm", big_hz=100 * MHZ)
+    with pytest.raises(ValueError):
+        DesignPoint(big=1, little=-1, tech_node="65nm", big_hz=100 * MHZ)
+    with pytest.raises(ValueError):
+        DesignPoint(big=1, little=0, tech_node="65nm", big_hz=0.0)
+
+
+def test_design_point_label_and_dict():
+    point = DesignPoint(big=2, little=3, tech_node="90nm", big_hz=250 * MHZ,
+                        spreader_resolution=(3, 3))
+    assert point.label == "dse_2b3l_90nm_250MHz_g3x3"
+    assert point.to_dict() == {
+        "big": 2, "little": 3, "tech_node": "90nm", "big_hz": 250 * MHZ,
+        "spreader_resolution": [3, 3],
+    }
+
+
+def test_default_space_exceeds_one_thousand():
+    points = default_points()
+    assert len(points) >= 1000
+    assert len({p.label for p in points}) == len(points)
+
+
+def test_generate_points_grid_axis_innermost():
+    # Each coarse-grid leader must immediately precede its fine-grid
+    # replayer — that adjacency is what makes in-batch replay dedup work.
+    points = generate_points(
+        big_counts=(1,), little_counts=(0, 1), tech_nodes=("65nm",),
+        big_hz_steps=(100 * MHZ,), grids=DEFAULT_GRIDS,
+    )
+    assert [p.spreader_resolution for p in points] == [
+        DEFAULT_GRIDS[0], DEFAULT_GRIDS[1]
+    ] * 2
+
+
+def test_stress_profile_covers_all_cores():
+    profile = stress_profile(2, 3)
+    for i in range(5):
+        assert ("core", i) in profile.utilization
+    assert profile.utilization[("core", 0)] > profile.utilization[("core", 4)]
+    assert ("bus", None) in profile.utilization
+
+
+def test_point_scenario_is_heterogeneous():
+    point = DesignPoint(big=2, little=2, tech_node="65nm", big_hz=250 * MHZ)
+    scenario = point_scenario(point)
+    assert scenario.platform.is_heterogeneous
+    counts = scenario.platform.core_class_counts()
+    assert counts == {"ppc405": 2, "microblaze": 2}
+    frequencies = scenario.platform.static_core_frequencies()
+    assert frequencies[0] == 250 * MHZ
+    assert frequencies[2] == 100 * MHZ
+    assert scenario.config.tech_node == "65nm"
+
+
+def test_hetero_scenario_round_trips_losslessly():
+    # The acceptance criterion: a heterogeneous scenario (dict floorplan,
+    # tech node, mixed CoreSpecs) survives JSON serialization with its
+    # trace digest — the TraceStore key — intact.
+    point = DesignPoint(big=2, little=1, tech_node="90nm", big_hz=200 * MHZ)
+    scenario = point_scenario(point)
+    payload = json.dumps(scenario.to_dict())
+    restored = Scenario.from_dict(json.loads(payload))
+    assert restored.to_dict() == scenario.to_dict()
+    assert scenario_trace_digest(restored) == scenario_trace_digest(scenario)
+
+
+def test_grid_twins_share_a_trace_digest():
+    # Under the open-loop policy the spreader grid is a thermal-side
+    # knob: the (2,2) and (3,3) twins of one design must hash to the
+    # same digest so the fine twin replays the coarse recording.
+    base = dict(big=1, little=2, tech_node="130nm", big_hz=150 * MHZ)
+    coarse = point_scenario(DesignPoint(spreader_resolution=(2, 2), **base))
+    fine = point_scenario(DesignPoint(spreader_resolution=(3, 3), **base))
+    assert scenario_trace_digest(coarse) == scenario_trace_digest(fine)
+
+
+def test_distinct_designs_get_distinct_digests():
+    mk = lambda **kw: scenario_trace_digest(point_scenario(DesignPoint(**kw)))
+    base = dict(big=1, little=2, tech_node="130nm", big_hz=150 * MHZ)
+    digest = mk(**base)
+    assert mk(**{**base, "tech_node": "65nm"}) != digest
+    assert mk(**{**base, "big_hz": 200 * MHZ}) != digest
+    assert mk(**{**base, "little": 3}) != digest
+
+
+def test_point_scenario_runs():
+    point = DesignPoint(big=1, little=1, tech_node="65nm", big_hz=100 * MHZ)
+    scenario = point_scenario(point, max_windows=3)
+    framework, report = scenario.run()
+    assert report.windows == 3
+    assert not report.workload_done  # steady state, never finishes
+    assert report.instructions > 0

@@ -1,0 +1,103 @@
+"""Golden-file test for the report renderer.
+
+``tests/report/fixtures/frozen_results.json`` is a frozen set of
+:class:`ArtifactResult` payloads — the five paper artifacts plus the
+``pareto_front`` DSE artifact — with fixed values, bodies, check
+ledgers, and wall times.  The committed ``golden_REPRODUCTION.md`` and
+``golden_reproduction.json`` are what the renderer produced for them
+when the fixture was frozen; the renderer must keep producing those
+files byte-for-byte.
+
+If a rendering change is intentional, regenerate the goldens with::
+
+    PYTHONPATH=src:tests python -c "from report.test_golden_render \
+        import regenerate; regenerate()"
+
+and review the diff like any other source change.
+"""
+
+import json
+import pathlib
+
+from repro.report.artifacts import ArtifactResult, CheckResult
+from repro.report.pipeline import (
+    JSON_BASENAME,
+    REPORT_BASENAME,
+    render_markdown,
+    to_json,
+    write_report,
+)
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+FROZEN = FIXTURES / "frozen_results.json"
+GOLDEN_MD = FIXTURES / "golden_REPRODUCTION.md"
+GOLDEN_JSON = FIXTURES / "golden_reproduction.json"
+
+#: The artifacts the frozen fixture must cover: every paper artifact
+#: plus the DSE Pareto front.  A new paper artifact should be frozen
+#: here too.
+REQUIRED_NAMES = ("table1", "table2", "table3", "fig3", "fig6", "pareto_front")
+
+
+def load_frozen_results():
+    """Reconstruct the frozen ``ArtifactResult`` list from the fixture."""
+    payload = json.loads(FROZEN.read_text())
+    results = []
+    for entry in payload:
+        checks = [CheckResult(**check) for check in entry.pop("checks")]
+        results.append(ArtifactResult(checks=checks, **entry))
+    return results
+
+
+def regenerate():
+    """Re-freeze the goldens from the current renderer (manual use only)."""
+    results = load_frozen_results()
+    GOLDEN_MD.write_text(render_markdown(results))
+    GOLDEN_JSON.write_text(json.dumps(to_json(results), indent=2) + "\n")
+
+
+def test_fixture_covers_required_artifacts():
+    names = [r.name for r in load_frozen_results()]
+    assert names == list(REQUIRED_NAMES)
+
+
+def test_frozen_results_all_pass():
+    # The fixture freezes a healthy report: every check marked passed,
+    # no errors — so `ok` derives to True through the real property.
+    for result in load_frozen_results():
+        assert result.error is None
+        assert result.ok
+        assert result.checks_passed == len(result.checks)
+
+
+def test_markdown_renders_byte_identical():
+    rendered = render_markdown(load_frozen_results())
+    assert rendered == GOLDEN_MD.read_text()
+
+
+def test_json_renders_byte_identical():
+    rendered = json.dumps(to_json(load_frozen_results()), indent=2) + "\n"
+    assert rendered == GOLDEN_JSON.read_text()
+
+
+def test_write_report_matches_goldens_on_disk(tmp_path):
+    markdown_path, json_path = write_report(
+        load_frozen_results(), output_dir=tmp_path
+    )
+    assert markdown_path.name == REPORT_BASENAME
+    assert json_path.name == JSON_BASENAME
+    assert markdown_path.read_bytes() == GOLDEN_MD.read_bytes()
+    assert json_path.read_bytes() == GOLDEN_JSON.read_bytes()
+
+
+def test_golden_markdown_structure():
+    # Cheap structural guards so a bad regeneration is obvious in review.
+    text = GOLDEN_MD.read_text()
+    assert text.startswith("# Paper reproduction report\n")
+    assert text.endswith("\n") and not text.endswith("\n\n")
+    for name in REQUIRED_NAMES:
+        assert f'<a name="{name}"></a>' in text
+    assert "FAIL" not in text
+    data = json.loads(GOLDEN_JSON.read_text())
+    assert data["ok"] is True
+    assert [a["name"] for a in data["artifacts"]] == list(REQUIRED_NAMES)
