@@ -9,11 +9,10 @@ scenario layer: every variant is a JSON-expressible :class:`Scenario`,
 and the whole batch runs through a two-worker :class:`Runner`.
 """
 
-import pytest
 
+from repro.core import FrameworkConfig
 from repro.core.workload_model import ActivityProfile
 from repro.scenario import PolicySpec, Runner, Scenario, WorkloadSpec
-from repro.core import FrameworkConfig
 from repro.util.records import Table, format_duration
 from repro.util.units import MHZ
 

@@ -9,7 +9,6 @@ one base :class:`Scenario` and executed through a two-worker
 reports' platform extras.
 """
 
-import pytest
 
 from repro.mpsoc import (
     BusConfig,

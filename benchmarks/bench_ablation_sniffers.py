@@ -12,7 +12,6 @@ bandwidth each configuration must push down the Ethernet.
 
 import time
 
-import pytest
 
 from repro.core.sniffers import CountLoggingSniffer, SnifferBank
 from repro.emulation.engine import EventDrivenEngine

@@ -10,7 +10,7 @@ clean evaluation, grid-twin replays, and a front that actually prunes.
 """
 
 from repro.dse.driver import run_dse
-from repro.dse.pareto import dominates, OBJECTIVES
+from repro.dse.pareto import OBJECTIVES, dominates
 from repro.dse.space import generate_points
 from repro.util.records import Table
 from repro.util.units import MHZ

@@ -11,13 +11,13 @@ edge inventory of the paper floorplans at both grid resolutions, and
 keeps a raw single-solver timing kernel for the benchmark column.
 """
 
+from repro.power.library import DEFAULT_LIBRARY
 from repro.report.artifacts import ARTIFACTS
 from repro.report.pipeline import render_verdicts
-from repro.thermal.floorplan import floorplan_4xarm7, floorplan_4xarm11
+from repro.thermal.floorplan import floorplan_4xarm11, floorplan_4xarm7
 from repro.thermal.grid import build_grid
 from repro.thermal.rc_network import network_for
 from repro.thermal.solver import ThermalSolver
-from repro.power.library import DEFAULT_LIBRARY
 from repro.util.records import Table
 
 

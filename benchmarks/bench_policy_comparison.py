@@ -21,7 +21,6 @@ from repro.policy import example_params
 from repro.policy.comparison import compare_policies
 from repro.report.artifacts import ARTIFACTS, COMPARED_POLICIES
 from repro.scenario.presets import PRESETS
-from repro.scenario.runner import Runner
 from repro.util.records import Table
 
 

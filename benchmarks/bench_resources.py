@@ -17,9 +17,9 @@ from repro.mpsoc import MPSoCConfig, build_platform, generate_custom
 from repro.mpsoc.cache import CacheConfig
 from repro.mpsoc.noc import Noc
 from repro.mpsoc.platform import (
-    CoreConfig,
     SLICE_COSTS,
     V2VP30_SLICES,
+    CoreConfig,
     switch_slices,
 )
 from repro.mpsoc.processor import CORE_SPECS

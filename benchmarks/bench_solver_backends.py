@@ -20,7 +20,7 @@ import time
 import numpy as np
 
 from repro.thermal.backends import SOLVER_BACKENDS, BatchedLU, make_backend
-from repro.thermal.floorplan import floorplan_4xarm7, floorplan_4xarm11
+from repro.thermal.floorplan import floorplan_4xarm11, floorplan_4xarm7
 from repro.thermal.rc_network import network_for
 from repro.thermal.solver import ThermalSolver
 from repro.util.records import Table

@@ -9,7 +9,7 @@ per-window activity-to-watts conversion the co-emulation loop performs).
 from repro.power.models import ActivityVector, PowerModel
 from repro.report.artifacts import ARTIFACTS
 from repro.report.pipeline import render_verdicts
-from repro.thermal.floorplan import floorplan_4xarm7, floorplan_4xarm11
+from repro.thermal.floorplan import floorplan_4xarm11, floorplan_4xarm7
 from repro.util.units import MHZ
 
 

@@ -12,6 +12,7 @@ Usage::
     python -m repro trace record|replay|info|list ...
     python -m repro farm serve|submit|status|workers|work ...
     python -m repro dse [--check] [--out report.json] ...
+    python -m repro lint [--check] [--list-rules] [--rule ID] ...
 
 A spec file holds either one scenario (``Scenario.to_dict()`` form) or a
 suite (``{"name": ..., "scenarios": [...]}``); every run prints the
@@ -113,6 +114,11 @@ def main(argv=None):
         from repro.dse.cli import main as dse_main
 
         return dse_main(argv[1:])
+    if argv and argv[0] == "lint":
+        # Static analysis of the repo's invariants (repro.analysis).
+        from repro.analysis.cli import main as lint_main
+
+        return lint_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro",

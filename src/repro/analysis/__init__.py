@@ -1,0 +1,55 @@
+"""Static analysis enforcing the repo's load-bearing invariants.
+
+The emulation framework's correctness rests on conventions the type
+checker cannot see: config serialization must round-trip every field,
+every ``FrameworkConfig`` field must be classified for the trace
+digest, farm/store shared state must only be written under a
+``FileLock``, the exact backends must stay bit-for-bit deterministic,
+and registry entries must be tested and documented.  Each convention
+has already produced (or narrowly avoided) a real bug; this package
+turns them into machine-checked rules.
+
+Architecture mirrors the solver/emulation backend pattern: rules are
+classes registered in :data:`~repro.analysis.rules.ANALYSIS_RULES`,
+the walker parses ``src/repro`` once and dispatches AST nodes to every
+rule, and findings are structured records diffed against a committed
+baseline.  Entry point: ``python -m repro lint``; catalog and
+suppression syntax: ``docs/static-analysis.md``.
+"""
+
+from repro.analysis.baseline import (
+    DEFAULT_BASELINE,
+    BaselineSplit,
+    load_baseline,
+    save_baseline,
+    split_findings,
+)
+from repro.analysis.findings import (
+    SEVERITIES,
+    SEVERITY_ERROR,
+    SEVERITY_WARNING,
+    Finding,
+)
+from repro.analysis.project import Project, SourceModule, Suppression
+from repro.analysis.rules import ANALYSIS_RULES, Rule
+from repro.analysis.walker import analyze, make_rules, run_rules
+
+__all__ = [
+    "ANALYSIS_RULES",
+    "BaselineSplit",
+    "DEFAULT_BASELINE",
+    "Finding",
+    "Project",
+    "Rule",
+    "SEVERITIES",
+    "SEVERITY_ERROR",
+    "SEVERITY_WARNING",
+    "SourceModule",
+    "Suppression",
+    "analyze",
+    "load_baseline",
+    "make_rules",
+    "run_rules",
+    "save_baseline",
+    "split_findings",
+]

@@ -1,0 +1,77 @@
+"""The committed baseline of grandfathered findings.
+
+A baseline file lets the lint gate turn on before every historical
+finding is fixed: findings whose
+:attr:`~repro.analysis.findings.Finding.suppression_key` is listed are
+reported as *baselined* (not failures); anything new fails the run.
+The repo's policy is an **empty** baseline — real findings get fixed,
+genuinely-exempt cases get an inline ``# repro: allow[...]`` with a
+reason — so the file mostly exists to make "no new findings ever"
+enforceable from day one of a rule's life, and ``--check`` also fails
+on *stale* entries (baselined findings that no longer fire) so the
+ledger can only shrink.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass
+
+from repro.analysis.findings import Finding
+
+BASELINE_VERSION = 1
+#: Default baseline location, relative to the repo root.
+DEFAULT_BASELINE = "analysis-baseline.json"
+
+
+def load_baseline(path: pathlib.Path | str) -> set[str]:
+    """The suppression keys grandfathered by ``path`` (empty when the
+    file does not exist)."""
+    path = pathlib.Path(path)
+    if not path.is_file():
+        return set()
+    data = json.loads(path.read_text())
+    if not isinstance(data, dict) or "findings" not in data:
+        raise ValueError(
+            f"{path} is not a baseline file "
+            f'(expected {{"version": ..., "findings": [...]}})'
+        )
+    keys = data["findings"]
+    if not isinstance(keys, list):
+        raise ValueError(f"{path}: 'findings' must be a list of keys")
+    return {str(key) for key in keys}
+
+
+def save_baseline(
+    path: pathlib.Path | str, findings: list[Finding]
+) -> set[str]:
+    """Write ``findings`` as the new baseline; returns the keys."""
+    keys = sorted({f.suppression_key for f in findings})
+    payload = {"version": BASELINE_VERSION, "findings": keys}
+    pathlib.Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+    return set(keys)
+
+
+@dataclass(frozen=True)
+class BaselineSplit:
+    """Findings partitioned against a baseline."""
+
+    new: tuple[Finding, ...]
+    baselined: tuple[Finding, ...]
+    stale_keys: tuple[str, ...]  # baseline entries that no longer fire
+
+
+def split_findings(
+    findings: list[Finding], baseline_keys: set[str]
+) -> BaselineSplit:
+    """Partition findings into new vs. baselined, and spot stale keys."""
+    new = tuple(
+        f for f in findings if f.suppression_key not in baseline_keys
+    )
+    baselined = tuple(
+        f for f in findings if f.suppression_key in baseline_keys
+    )
+    fired = {f.suppression_key for f in findings}
+    stale = tuple(sorted(baseline_keys - fired))
+    return BaselineSplit(new=new, baselined=baselined, stale_keys=stale)

@@ -1,0 +1,215 @@
+"""Rule: bit-for-bit determinism of the exact backends (PR 7 invariant).
+
+The registry equivalence tests promise that ``exact`` emulation
+backends are run-twice bit-for-bit reproducible and that trace digests
+are stable across processes.  Four constructs have each broken (or
+nearly broken) that promise and are banned in ``src/repro``:
+
+* ``id(...)`` — process-dependent; the event-driven engine's heap
+  tie-break used it and produced per-process event orders (fixed in
+  PR 7 to a stable platform index).  Any use that feeds comparisons,
+  sort keys, heap entries or grouping keys is unstable by definition,
+  so the rule flags every call (suppress the rare intentional
+  identity-semantics use inline, with the reason).
+* unseeded global ``random.*`` / ``numpy.random.*`` — randomness that
+  cannot be replayed; use a seeded ``random.Random(seed)`` /
+  ``numpy.random.default_rng(seed)`` instance instead.
+* ``time.time()`` in the emulation/thermal hot paths — wall-clock
+  leaking into emulated state; inject ``now`` (the farm queue pattern)
+  or use ``time.perf_counter()`` for pure wall-time accounting.
+* iterating a ``set`` into ordered output — set order varies with hash
+  seeding and insertion history; wrap in ``sorted(...)`` first.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.project import Project, SourceModule
+from repro.analysis.rules import ANALYSIS_RULES, Rule
+
+#: Packages whose per-window code feeds emulated state and digests.
+HOT_PATH_PREFIXES = (
+    "src/repro/emulation/",
+    "src/repro/thermal/",
+    "src/repro/core/",
+    "src/repro/mpsoc/",
+)
+
+#: Global-random attributes that are fine (they build seeded streams).
+_RANDOM_OK = ("Random", "SystemRandom", "seed", "getstate", "setstate")
+_NP_RANDOM_OK = ("default_rng", "Generator", "RandomState", "SeedSequence")
+
+#: Calls that consume an iterable order-insensitively.
+_ORDER_NEUTRAL = (
+    "sorted", "min", "max", "sum", "len", "any", "all", "set",
+    "frozenset",
+)
+
+
+def _call_name(node: ast.Call) -> str | None:
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    return None
+
+
+def _is_setish(node: ast.expr) -> bool:
+    """Conservatively: does this expression evaluate to a set?"""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        if isinstance(node.func, ast.Name) and node.func.id in (
+            "set",
+            "frozenset",
+        ):
+            return True
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.Sub, ast.BitOr, ast.BitAnd, ast.BitXor)
+    ):
+        return _is_setish(node.left) or _is_setish(node.right)
+    return False
+
+
+@ANALYSIS_RULES.register("determinism")
+class DeterminismRule(Rule):
+    """No id()/unseeded random/wall clock/set-order in emulated state."""
+
+    rule_id = "determinism"
+    summary = (
+        "forbid id() keys, unseeded random, time.time() in hot paths "
+        "and unsorted set iteration (exact backends are bit-for-bit)"
+    )
+
+    def visit_module(
+        self, project: Project, module: SourceModule
+    ) -> Iterable[Finding]:
+        return list(self._check(module))
+
+    def _check(self, module: SourceModule) -> Iterator[Finding]:
+        hot = module.relpath.startswith(HOT_PATH_PREFIXES)
+        neutralized = self._order_neutral_nodes(module.tree)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(module, node, hot)
+            elif isinstance(node, ast.ImportFrom):
+                yield from self._check_import(module, node, hot)
+            elif isinstance(node, ast.For):
+                if node.iter not in neutralized and _is_setish(node.iter):
+                    yield from self._set_iteration(module, node.iter)
+            elif isinstance(
+                node, (ast.ListComp, ast.GeneratorExp, ast.DictComp)
+            ):
+                for comp in node.generators:
+                    if comp.iter not in neutralized and _is_setish(
+                        comp.iter
+                    ):
+                        yield from self._set_iteration(module, comp.iter)
+
+    def _order_neutral_nodes(self, tree: ast.Module) -> set[ast.AST]:
+        """All nodes inside arguments of order-insensitive calls."""
+        neutral: set[ast.AST] = set()
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id in _ORDER_NEUTRAL
+            ):
+                for arg in node.args:
+                    neutral.update(ast.walk(arg))
+        return neutral
+
+    def _check_call(
+        self, module: SourceModule, node: ast.Call, hot: bool
+    ) -> Iterator[Finding]:
+        func = node.func
+        if isinstance(func, ast.Name) and func.id == "id" and node.args:
+            yield self.at(
+                module,
+                node,
+                "id() is process-dependent and breaks bit-for-bit "
+                "reproducibility when it reaches comparisons, sort "
+                "keys, heap entries or grouping keys; use a stable "
+                "index or content key",
+            )
+            return
+        if not isinstance(func, ast.Attribute):
+            return
+        value = func.value
+        # random.<fn>(...) on the global module stream.
+        if isinstance(value, ast.Name) and value.id == "random":
+            if func.attr not in _RANDOM_OK:
+                yield self.at(
+                    module,
+                    node,
+                    f"random.{func.attr}() draws from the unseeded "
+                    f"global stream; use a seeded random.Random(seed) "
+                    f"instance so runs replay bit-for-bit",
+                )
+        # np.random.<fn>(...) / numpy.random.<fn>(...).
+        if (
+            isinstance(value, ast.Attribute)
+            and value.attr == "random"
+            and isinstance(value.value, ast.Name)
+            and value.value.id in ("np", "numpy")
+            and func.attr not in _NP_RANDOM_OK
+        ):
+            yield self.at(
+                module,
+                node,
+                f"numpy.random.{func.attr}() uses the unseeded legacy "
+                f"global state; use numpy.random.default_rng(seed)",
+            )
+        # time.time() in hot paths.
+        if (
+            hot
+            and isinstance(value, ast.Name)
+            and value.id == "time"
+            and func.attr == "time"
+        ):
+            yield self.at(
+                module,
+                node,
+                "time.time() leaks wall clock into an emulation/"
+                "thermal hot path; inject `now` (farm-queue pattern) "
+                "or use time.perf_counter() for wall-time accounting",
+            )
+
+    def _check_import(
+        self, module: SourceModule, node: ast.ImportFrom, hot: bool
+    ) -> Iterator[Finding]:
+        if node.module == "random":
+            bad = [
+                alias.name
+                for alias in node.names
+                if alias.name not in _RANDOM_OK
+            ]
+            if bad:
+                yield self.at(
+                    module,
+                    node,
+                    f"`from random import {', '.join(bad)}` binds the "
+                    f"unseeded global stream; use a seeded "
+                    f"random.Random(seed) instance",
+                )
+        if hot and node.module == "time":
+            if any(alias.name == "time" for alias in node.names):
+                yield self.at(
+                    module,
+                    node,
+                    "`from time import time` in an emulation/thermal "
+                    "hot path; inject `now` or use perf_counter",
+                )
+
+    def _set_iteration(
+        self, module: SourceModule, node: ast.expr
+    ) -> Iterator[Finding]:
+        yield self.at(
+            module,
+            node,
+            "iterating a set feeds hash-seed-dependent order into the "
+            "output; wrap the set in sorted(...) before iterating",
+        )

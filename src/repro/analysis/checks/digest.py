@@ -1,0 +1,216 @@
+"""Rule: every ``FrameworkConfig`` knob is classified for the digest.
+
+The dedup machinery (PR 5/7, :func:`repro.trace.store.
+scenario_trace_digest`) keys recorded boundary streams on exactly the
+scenario fields that can change them.  The incident class this rule
+kills: someone adds an emulation-affecting knob to ``FrameworkConfig``
+and *also* adds it to the thermal-side exemption list (or the digest
+projection never learns about it), so two different emulations alias to
+one recording — the `emulation_backend` knob nearly shipped that way
+in PR 7.
+
+Mechanically: ``repro/trace/store.py`` must classify **every**
+``FrameworkConfig`` field in exactly one of two literal tables —
+``DIGEST_PARTICIPANTS`` (the field feeds the digest) or
+``DIGEST_EXEMPT`` (a ``{field: reason}`` dict of knobs the boundary
+stream provably cannot see; the reason string is mandatory).  The rule
+cross-checks the dataclass against both tables, rejects unclassified
+or doubly-classified fields, entries that name no real field, missing
+reasons, and drift between ``THERMAL_SIDE_KEYS`` and ``DIGEST_EXEMPT``.
+Platform-side configs (``MPSoCConfig`` family) always participate via
+``Scenario.to_dict``; their completeness is the serialization rule's
+job.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.project import Project, SourceModule
+from repro.analysis.rules import ANALYSIS_RULES, Rule
+
+CONFIG_MODULE = "src/repro/core/framework.py"
+CONFIG_CLASS = "FrameworkConfig"
+STORE_MODULE = "src/repro/trace/store.py"
+MIN_REASON_CHARS = 10
+
+
+def _config_fields(tree: ast.Module) -> dict[str, int]:
+    """``{field: lineno}`` of the config dataclass, or empty."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and node.name == CONFIG_CLASS:
+            return {
+                stmt.target.id: stmt.lineno
+                for stmt in node.body
+                if isinstance(stmt, ast.AnnAssign)
+                and isinstance(stmt.target, ast.Name)
+                and "ClassVar" not in ast.dump(stmt.annotation)
+            }
+    return {}
+
+
+def _module_assign(tree: ast.Module, name: str) -> ast.expr | None:
+    """The value expression assigned to module-level ``name``."""
+    for stmt in tree.body:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name) and target.id == name:
+                    return stmt.value
+        elif isinstance(stmt, ast.AnnAssign):
+            if (
+                isinstance(stmt.target, ast.Name)
+                and stmt.target.id == name
+                and stmt.value is not None
+            ):
+                return stmt.value
+    return None
+
+
+def _str_elements(node: ast.expr | None) -> dict[str, int] | None:
+    """``{value: lineno}`` for a tuple/list of string constants."""
+    if not isinstance(node, (ast.Tuple, ast.List)):
+        return None
+    out: dict[str, int] = {}
+    for element in node.elts:
+        if not isinstance(element, ast.Constant) or not isinstance(
+            element.value, str
+        ):
+            return None
+        out[element.value] = element.lineno
+    return out
+
+
+def _str_dict(
+    node: ast.expr | None,
+) -> dict[str, tuple[str, int]] | None:
+    """``{key: (reason, lineno)}`` for a ``{str: str}`` dict literal."""
+    if not isinstance(node, ast.Dict):
+        return None
+    out: dict[str, tuple[str, int]] = {}
+    for key, value in zip(node.keys, node.values):
+        if not isinstance(key, ast.Constant) or not isinstance(
+            key.value, str
+        ):
+            return None
+        reason = (
+            value.value
+            if isinstance(value, ast.Constant)
+            and isinstance(value.value, str)
+            else ""
+        )
+        out[key.value] = (reason, key.lineno)
+    return out
+
+
+@ANALYSIS_RULES.register("digest-participation")
+class DigestParticipationRule(Rule):
+    """FrameworkConfig fields must be digest-classified in store.py."""
+
+    rule_id = "digest-participation"
+    summary = (
+        "every FrameworkConfig field appears in DIGEST_PARTICIPANTS or "
+        "DIGEST_EXEMPT (with a reason) in repro/trace/store.py"
+    )
+
+    def finish(self, project: Project) -> Iterable[Finding]:
+        config = project.module(CONFIG_MODULE)
+        store = project.module(STORE_MODULE)
+        if config is None or store is None:
+            return []  # fixture projects without the pair are exempt
+        return list(self._check(config, store))
+
+    def _check(
+        self, config: SourceModule, store: SourceModule
+    ) -> Iterator[Finding]:
+        fields = _config_fields(config.tree)
+        if not fields:
+            return
+        participants = _str_elements(
+            _module_assign(store.tree, "DIGEST_PARTICIPANTS")
+        )
+        exempt = _str_dict(_module_assign(store.tree, "DIGEST_EXEMPT"))
+        if participants is None or exempt is None:
+            yield self.finding(
+                store.relpath,
+                1,
+                "store.py must declare DIGEST_PARTICIPANTS (a literal "
+                "tuple of field names) and DIGEST_EXEMPT (a literal "
+                "{field: reason} dict) classifying every "
+                f"{CONFIG_CLASS} field",
+            )
+            return
+
+        for name, lineno in sorted(fields.items()):
+            in_participants = name in participants
+            in_exempt = name in exempt
+            if not in_participants and not in_exempt:
+                yield self.finding(
+                    config.relpath,
+                    lineno,
+                    f"{CONFIG_CLASS}.{name} is not digest-classified: "
+                    f"add it to DIGEST_PARTICIPANTS (it changes the "
+                    f"boundary stream) or to DIGEST_EXEMPT with a "
+                    f"reason in {STORE_MODULE}",
+                )
+            elif in_participants and in_exempt:
+                yield self.finding(
+                    store.relpath,
+                    participants[name],
+                    f"{CONFIG_CLASS}.{name} is classified both as a "
+                    f"digest participant and as exempt; pick one",
+                )
+
+        for name, lineno in sorted(participants.items()):
+            if name not in fields:
+                yield self.finding(
+                    store.relpath,
+                    lineno,
+                    f"DIGEST_PARTICIPANTS entry {name!r} names no "
+                    f"{CONFIG_CLASS} field (drift after a rename?)",
+                )
+        for name, (reason, lineno) in sorted(exempt.items()):
+            if name not in fields:
+                yield self.finding(
+                    store.relpath,
+                    lineno,
+                    f"DIGEST_EXEMPT entry {name!r} names no "
+                    f"{CONFIG_CLASS} field (drift after a rename?)",
+                )
+            if len(reason.strip()) < MIN_REASON_CHARS:
+                yield self.finding(
+                    store.relpath,
+                    lineno,
+                    f"DIGEST_EXEMPT[{name!r}] needs a real reason "
+                    f"string (>= {MIN_REASON_CHARS} chars) explaining "
+                    f"why the boundary stream cannot depend on it",
+                )
+
+        yield from self._check_thermal_side_keys(store, set(exempt))
+
+    def _check_thermal_side_keys(
+        self, store: SourceModule, exempt_keys: set[str]
+    ) -> Iterator[Finding]:
+        node = _module_assign(store.tree, "THERMAL_SIDE_KEYS")
+        if node is None:
+            yield self.finding(
+                store.relpath,
+                1,
+                "store.py must keep THERMAL_SIDE_KEYS (the digest "
+                "projection's drop list) in lockstep with DIGEST_EXEMPT",
+            )
+            return
+        # The canonical spelling derives one from the other.
+        if ast.unparse(node) == "tuple(DIGEST_EXEMPT)":
+            return
+        literal = _str_elements(node)
+        if literal is None or set(literal) != exempt_keys:
+            yield self.finding(
+                store.relpath,
+                node.lineno,
+                "THERMAL_SIDE_KEYS drifted from DIGEST_EXEMPT; spell "
+                "it `tuple(DIGEST_EXEMPT)` (or keep the literals "
+                "identical) so the projection and the exemption ledger "
+                "cannot disagree",
+            )

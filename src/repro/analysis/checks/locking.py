@@ -1,0 +1,211 @@
+"""Rule: shared farm/store state is only written under a ``FileLock``.
+
+The run-farm's queue, worker registry and the shared trace store are
+multi-process shared state (PR 6).  Both incident classes from that PR
+are banned mechanically:
+
+* the ``.tmp`` truncation race — two writers sharing one fixed temp
+  file — came from a raw ``open(path, "w")``; in the scoped files any
+  ``open`` in a write mode (or ``Path.write_text``/``write_bytes``) is
+  rejected in favor of :func:`repro.util.locking.atomic_write_json` /
+  ``atomic_write_text``, whose unique temp + ``os.replace`` cannot
+  interleave;
+* lost read-modify-write updates came from mutating queue/registry/
+  index state outside the queue lock; every ``atomic_write_*`` call in
+  the scoped files must happen *lexically* inside a ``with`` block
+  whose context manager mentions a lock (``FileLock(...)``,
+  ``self._lock()``, ``self._shard_lock(...)``, ...).
+
+Write helpers are understood transitively: a method like
+``JobQueue._save`` that writes without taking the lock itself is fine
+as long as **every** call site of it (in its module) sits inside a
+lock ``with`` — the analysis propagates "performs unlocked writes"
+through the module-local call graph to a fixed point and reports only
+the root functions whose unlocked writes no caller guards.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.project import Project, SourceModule
+from repro.analysis.rules import ANALYSIS_RULES, Rule
+
+#: Files holding multi-process shared state.
+SCOPE_PREFIXES = ("src/repro/farm/",)
+SCOPE_FILES = ("src/repro/trace/store.py",)
+
+ATOMIC_WRITERS = ("atomic_write_json", "atomic_write_text")
+RAW_WRITE_METHODS = ("write_text", "write_bytes")
+
+
+def in_scope(relpath: str) -> bool:
+    return relpath.startswith(SCOPE_PREFIXES) or relpath in SCOPE_FILES
+
+
+def _call_name(node: ast.Call) -> str | None:
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    return None
+
+
+def _is_lockish(node: ast.With | ast.AsyncWith) -> bool:
+    """True when any context manager of the ``with`` mentions a lock."""
+    for item in node.items:
+        if "lock" in ast.unparse(item.context_expr).lower():
+            return True
+    return False
+
+
+def _write_mode(node: ast.Call) -> str | None:
+    """The mode string of an ``open``-family call when it writes."""
+    mode: ast.expr | None = None
+    if len(node.args) >= 2:
+        mode = node.args[1]
+    for keyword in node.keywords:
+        if keyword.arg == "mode":
+            mode = keyword.value
+    if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+        if any(flag in mode.value for flag in ("w", "a", "x", "+")):
+            return mode.value
+    return None
+
+
+class _Call:
+    """One call site inside a function body."""
+
+    def __init__(self, name: str, node: ast.Call, locked: bool) -> None:
+        self.name = name
+        self.node = node
+        self.locked = locked
+
+
+class _Scope:
+    """Calls made by one function (or the module body), with lock depth."""
+
+    def __init__(self, name: str, node: ast.AST) -> None:
+        self.name = name
+        self.node = node
+        self.calls: list[_Call] = []
+
+    def collect(self, body: list[ast.stmt]) -> None:
+        self._walk(body, locked=False)
+
+    def _walk(self, stmts: list[ast.stmt], locked: bool) -> None:
+        for stmt in stmts:
+            self._walk_node(stmt, locked)
+
+    def _walk_node(self, node: ast.AST, locked: bool) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return  # nested defs analyzed as their own scopes
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            inner = locked or _is_lockish(node)
+            for item in node.items:
+                self._walk_node(item.context_expr, locked)
+            self._walk(node.body, inner)
+            return
+        if isinstance(node, ast.Call):
+            name = _call_name(node)
+            if name is not None:
+                self.calls.append(_Call(name, node, locked))
+        for child in ast.iter_child_nodes(node):
+            self._walk_node(child, locked)
+
+
+def _scopes(tree: ast.Module) -> list[_Scope]:
+    scopes = [_Scope("<module>", tree)]
+    scopes[0].collect(
+        [s for s in tree.body if not isinstance(s, (ast.FunctionDef,
+                                                    ast.AsyncFunctionDef,
+                                                    ast.ClassDef))]
+    )
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            scope = _Scope(node.name, node)
+            scope.collect(node.body)
+            scopes.append(scope)
+    return scopes
+
+
+@ANALYSIS_RULES.register("lock-discipline")
+class LockDisciplineRule(Rule):
+    """Shared farm/store writes stay under FileLock + atomic replace."""
+
+    rule_id = "lock-discipline"
+    summary = (
+        "farm/store shared state: no raw write-mode open(); every "
+        "atomic_write_* reachable only through a FileLock with-block"
+    )
+
+    def visit_module(
+        self, project: Project, module: SourceModule
+    ) -> Iterable[Finding]:
+        if not in_scope(module.relpath):
+            return []
+        return list(self._check(module))
+
+    def _check(self, module: SourceModule) -> Iterator[Finding]:
+        # 1. Raw write-path bans (the .tmp truncation race class).
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _call_name(node)
+            if name == "open":
+                mode = _write_mode(node)
+                if mode is not None:
+                    yield self.at(
+                        module,
+                        node,
+                        f"raw open(..., {mode!r}) on shared state; use "
+                        f"repro.util.locking.atomic_write_json/"
+                        f"atomic_write_text (unique temp + os.replace)",
+                    )
+            elif name in RAW_WRITE_METHODS:
+                yield self.at(
+                    module,
+                    node,
+                    f".{name}() writes shared state in place; use "
+                    f"repro.util.locking.atomic_write_json/"
+                    f"atomic_write_text (unique temp + os.replace)",
+                )
+
+        # 2. Unlocked-write propagation through the local call graph.
+        scopes = _scopes(module.tree)
+        writers: dict[str, ast.Call] = {}  # scope name -> evidence call
+        for scope in scopes:
+            for call in scope.calls:
+                if call.name in ATOMIC_WRITERS and not call.locked:
+                    writers.setdefault(scope.name, call.node)
+        changed = True
+        while changed:
+            changed = False
+            for scope in scopes:
+                if scope.name in writers:
+                    continue
+                for call in scope.calls:
+                    if call.name in writers and not call.locked:
+                        writers[scope.name] = call.node
+                        changed = True
+                        break
+        # Roots: writer scopes no local scope ever calls — nothing in
+        # this module guards them, so the unlocked write escapes.
+        called_names = {
+            call.name for scope in scopes for call in scope.calls
+        }
+        for scope in scopes:
+            evidence = writers.get(scope.name)
+            if evidence is None:
+                continue
+            if scope.name != "<module>" and scope.name in called_names:
+                continue  # judged at its call sites instead
+            yield self.at(
+                module,
+                evidence,
+                f"unlocked write to shared state in {scope.name}: every "
+                f"atomic_write_* to queue/registry/index files must be "
+                f"reached inside a FileLock `with` block",
+            )

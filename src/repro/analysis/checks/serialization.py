@@ -1,0 +1,131 @@
+"""Rule: lossless ``to_dict``/``from_dict`` round-trips (PR 1 invariant).
+
+Every ``@dataclass`` that defines ``to_dict`` promises a lossless
+JSON round-trip.  The way that promise silently rots is *field drift*:
+a new field is added to the dataclass but not to ``to_dict`` (so it
+vanishes on save) or not to ``from_dict`` (so it resets on load).
+
+The rule requires every dataclass field to be referenced inside
+``to_dict`` — as a ``self.<field>`` access, a ``"<field>"`` string
+key, or wholesale via ``dataclasses.asdict`` — and, when ``from_dict``
+exists, inside ``from_dict`` too (a ``cls(**data)`` splat counts: it
+forwards every key).  One-way report types may omit ``from_dict``
+entirely; intentionally unserialized fields take an inline
+``# repro: allow[serialization-roundtrip] — reason`` on the ``def
+to_dict`` line.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.project import Project, SourceModule
+from repro.analysis.rules import ANALYSIS_RULES, Rule
+
+
+def _is_dataclass(node: ast.ClassDef) -> bool:
+    for deco in node.decorator_list:
+        target = deco.func if isinstance(deco, ast.Call) else deco
+        if isinstance(target, ast.Name) and target.id == "dataclass":
+            return True
+        if isinstance(target, ast.Attribute) and target.attr == "dataclass":
+            return True
+    return False
+
+
+def _field_names(node: ast.ClassDef) -> list[str]:
+    """Declared dataclass fields (annotated class-body assignments),
+    skipping ``ClassVar`` pseudo-fields and private attributes."""
+    fields: list[str] = []
+    for stmt in node.body:
+        if not isinstance(stmt, ast.AnnAssign):
+            continue
+        if not isinstance(stmt.target, ast.Name):
+            continue
+        if "ClassVar" in ast.dump(stmt.annotation):
+            continue
+        if stmt.target.id.startswith("_"):
+            continue
+        fields.append(stmt.target.id)
+    return fields
+
+
+def _referenced_names(func: ast.FunctionDef) -> tuple[set[str], bool, bool]:
+    """``(names, splats, asdict)`` referenced inside ``func``: attribute
+    names on any object, string constants, keyword-argument names; plus
+    whether a ``**`` splat or an ``asdict`` call appears."""
+    names: set[str] = set()
+    splats = False
+    asdict = False
+    for node in ast.walk(func):
+        if isinstance(node, ast.Attribute):
+            names.add(node.attr)
+        elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+            names.add(node.value)
+        elif isinstance(node, ast.keyword):
+            if node.arg is None:
+                splats = True
+            else:
+                names.add(node.arg)
+        elif isinstance(node, ast.Call):
+            target = node.func
+            if isinstance(target, ast.Name) and target.id == "asdict":
+                asdict = True
+            if isinstance(target, ast.Attribute) and target.attr == "asdict":
+                asdict = True
+    return names, splats, asdict
+
+
+@ANALYSIS_RULES.register("serialization-roundtrip")
+class SerializationRoundTripRule(Rule):
+    """to_dict/from_dict must reference every dataclass field."""
+
+    rule_id = "serialization-roundtrip"
+    summary = (
+        "@dataclass to_dict/from_dict must cover every field "
+        "(field drift silently breaks lossless round-trips)"
+    )
+
+    def visit_class(
+        self, project: Project, module: SourceModule, node: ast.ClassDef
+    ) -> Iterable[Finding]:
+        if not _is_dataclass(node):
+            return []
+        methods = {
+            stmt.name: stmt
+            for stmt in node.body
+            if isinstance(stmt, ast.FunctionDef)
+        }
+        if "to_dict" not in methods:
+            return []
+        fields = _field_names(node)
+        return list(self._check(module, node, methods, fields))
+
+    def _check(
+        self,
+        module: SourceModule,
+        node: ast.ClassDef,
+        methods: dict[str, ast.FunctionDef],
+        fields: list[str],
+    ) -> Iterator[Finding]:
+        for method_name in ("to_dict", "from_dict"):
+            method = methods.get(method_name)
+            if method is None:
+                continue  # one-way report types may omit from_dict
+            names, splats, asdict = _referenced_names(method)
+            if asdict:
+                continue  # asdict(self) serializes every field
+            if method_name == "from_dict" and splats:
+                continue  # cls(**data) forwards every key
+            missing = sorted(set(fields) - names)
+            if missing:
+                yield self.at(
+                    module,
+                    method,
+                    f"{node.name}.{method_name}() never references "
+                    f"field(s) {', '.join(missing)}; a lossless "
+                    f"round-trip must cover every dataclass field "
+                    f"(or use dataclasses.asdict)",
+                )

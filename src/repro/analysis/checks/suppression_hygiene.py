@@ -1,0 +1,62 @@
+"""Rule: inline suppressions must name a real rule and give a reason.
+
+``# repro: allow[<rule-id>] — reason`` is the only sanctioned way to
+wave a finding through, and it is only as trustworthy as its contents:
+an ``allow`` naming no rule (or a misspelled one) silently suppresses
+nothing — or the wrong thing — and an ``allow`` without a reason is a
+review bypass.  This meta-rule keeps the escape hatch honest.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.project import Project, SourceModule
+from repro.analysis.rules import ANALYSIS_RULES, Rule
+
+MIN_REASON_CHARS = 10
+
+
+@ANALYSIS_RULES.register("suppression-hygiene")
+class SuppressionHygieneRule(Rule):
+    """allow[...] comments need a known rule id and a real reason."""
+
+    rule_id = "suppression-hygiene"
+    summary = (
+        "# repro: allow[...] must name registered rule ids and carry "
+        "a reason (no blanket or bare suppressions)"
+    )
+
+    def visit_module(
+        self, project: Project, module: SourceModule
+    ) -> Iterable[Finding]:
+        return list(self._check(module))
+
+    def _check(self, module: SourceModule) -> Iterator[Finding]:
+        for supp in module.suppressions:
+            if not supp.rule_ids:
+                yield self.finding(
+                    module.relpath,
+                    supp.line,
+                    "suppression names no rule id; blanket "
+                    "blanket `allow[]` is not a thing — name the rule "
+                    "being waved through",
+                )
+                continue
+            for rule_id in supp.rule_ids:
+                if rule_id not in ANALYSIS_RULES:
+                    yield self.finding(
+                        module.relpath,
+                        supp.line,
+                        f"suppression names unknown rule {rule_id!r} "
+                        f"(known: {', '.join(ANALYSIS_RULES.names())})",
+                    )
+            if len(supp.reason) < MIN_REASON_CHARS:
+                yield self.finding(
+                    module.relpath,
+                    supp.line,
+                    f"suppression for {', '.join(supp.rule_ids)} needs "
+                    f"a reason (>= {MIN_REASON_CHARS} chars after the "
+                    f"bracket): say why this occurrence is safe",
+                )

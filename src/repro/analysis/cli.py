@@ -1,0 +1,175 @@
+"""``python -m repro lint`` — run the invariant-enforcing analysis.
+
+Usage::
+
+    python -m repro lint                  # report findings vs. baseline
+    python -m repro lint --check          # CI gate: also fail on stale
+                                          # baseline entries
+    python -m repro lint --list-rules     # rule catalog
+    python -m repro lint --rule lock-discipline --rule determinism
+    python -m repro lint --json out.json  # findings ledger (CI artifact)
+    python -m repro lint --update-baseline
+
+Exit status: ``0`` when no *new* findings (baselined ones are
+reported but tolerated); ``1`` on new findings, and — under
+``--check`` — on stale baseline entries (the committed ledger may only
+shrink); ``2`` on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import Sequence
+
+from repro.analysis.baseline import (
+    DEFAULT_BASELINE,
+    load_baseline,
+    save_baseline,
+    split_findings,
+)
+from repro.analysis.project import Project
+from repro.analysis.rules import ANALYSIS_RULES, make_rule_table
+from repro.analysis.walker import make_rules, run_rules
+
+
+def _find_repo_root(start: pathlib.Path) -> pathlib.Path | None:
+    """The nearest ancestor (inclusive) holding a ``src/repro`` tree."""
+    for candidate in (start, *start.parents):
+        if (candidate / "src" / "repro").is_dir():
+            return candidate
+    return None
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro lint",
+        description=(
+            "Static analysis enforcing the repo's load-bearing "
+            "invariants (serialization round-trips, digest "
+            "participation, lock discipline, determinism, registry "
+            "coverage).  See docs/static-analysis.md."
+        ),
+    )
+    parser.add_argument(
+        "--root",
+        metavar="DIR",
+        help="repo root to analyze (default: nearest ancestor of the "
+        "current directory containing src/repro)",
+    )
+    parser.add_argument(
+        "--rule",
+        metavar="ID",
+        action="append",
+        dest="rules",
+        help="run only this rule (repeatable)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list registered rule ids and exit",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        help=f"baseline file (default: <root>/{DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="write the current findings as the new baseline and exit",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="CI mode: additionally fail when the baseline holds "
+        "entries that no longer fire",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        dest="json_out",
+        help="write the full findings ledger as JSON (CI artifact)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule_id, summary in make_rule_table():
+            print(f"{rule_id:24s} {summary}")
+        return 0
+
+    root = (
+        pathlib.Path(args.root)
+        if args.root
+        else _find_repo_root(pathlib.Path.cwd())
+    )
+    if root is None or not (root / "src" / "repro").is_dir():
+        print(
+            "error: no src/repro tree found (pass --root)",
+            file=sys.stderr,
+        )
+        return 2
+
+    try:
+        rules = make_rules(args.rules)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    project = Project.load(root)
+    findings = run_rules(project, rules)
+
+    baseline_path = (
+        pathlib.Path(args.baseline)
+        if args.baseline
+        else root / DEFAULT_BASELINE
+    )
+    if args.update_baseline:
+        keys = save_baseline(baseline_path, findings)
+        print(f"baseline updated: {len(keys)} entries -> {baseline_path}")
+        return 0
+
+    baseline_keys = load_baseline(baseline_path)
+    split = split_findings(findings, baseline_keys)
+
+    for finding in split.new:
+        print(finding.format())
+    for finding in split.baselined:
+        print(f"{finding.format()} (baselined)")
+    if args.check:
+        for key in split.stale_keys:
+            print(f"stale baseline entry (no longer fires): {key}")
+
+    if args.json_out:
+        payload = {
+            "root": str(root),
+            "rules": [rule.rule_id for rule in rules],
+            "findings": [
+                {**f.to_dict(), "baselined": f.suppression_key
+                 in baseline_keys}
+                for f in findings
+            ],
+            "stale_baseline": list(split.stale_keys),
+        }
+        pathlib.Path(args.json_out).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
+
+    checked = len(project.modules)
+    print(
+        f"checked {checked} modules with {len(rules)}/"
+        f"{len(ANALYSIS_RULES)} rules: {len(split.new)} new, "
+        f"{len(split.baselined)} baselined, {len(split.stale_keys)} "
+        f"stale baseline entr{'y' if len(split.stale_keys) == 1 else 'ies'}"
+    )
+    if split.new:
+        return 1
+    if args.check and split.stale_keys:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

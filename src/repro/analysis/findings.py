@@ -1,0 +1,73 @@
+"""Structured findings emitted by the static-analysis rules.
+
+A :class:`Finding` is one violation of one repo invariant: which rule
+fired, how severe it is, where (``file:line``) and why.  Findings are
+plain data — they serialize to JSON for the CI artifact and compare by
+:attr:`~Finding.suppression_key` against the committed baseline file,
+so a finding stays recognizable even when unrelated edits shift its
+line number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: A finding that must be fixed (or explicitly suppressed) before CI
+#: goes green.
+SEVERITY_ERROR = "error"
+#: Advisory: reported and counted, but tracked like any other finding.
+SEVERITY_WARNING = "warning"
+SEVERITIES = (SEVERITY_ERROR, SEVERITY_WARNING)
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str  # repo-relative POSIX path, e.g. "src/repro/farm/queue.py"
+    line: int  # 1-based
+    rule_id: str
+    severity: str
+    message: str
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(
+                f"finding severity must be one of {SEVERITIES}, "
+                f"got {self.severity!r}"
+            )
+        if not self.rule_id:
+            raise ValueError("a finding needs a rule id")
+
+    @property
+    def suppression_key(self) -> str:
+        """The line-number-free identity used by baseline files.
+
+        Keyed on rule, file and message (not line), so reformatting a
+        file does not resurrect a grandfathered finding.
+        """
+        return f"{self.rule_id}::{self.path}::{self.message}"
+
+    def format(self) -> str:
+        """The one-line ``file:line: [rule] message`` console form."""
+        return f"{self.path}:{self.line}: {self.severity} [{self.rule_id}] {self.message}"
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-compatible dict; ``from_dict`` round-trips it losslessly."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "rule_id": self.rule_id,
+            "severity": self.severity,
+            "message": self.message,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, object]) -> Finding:
+        return cls(
+            path=str(data["path"]),
+            line=int(data["line"]),  # type: ignore[call-overload]
+            rule_id=str(data["rule_id"]),
+            severity=str(data["severity"]),
+            message=str(data["message"]),
+        )

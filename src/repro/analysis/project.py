@@ -1,0 +1,171 @@
+"""The analyzed source tree, loaded and parsed exactly once.
+
+A :class:`Project` is the unit every rule runs against: the parsed
+``src/repro`` modules (one :class:`SourceModule` each, AST + raw text +
+inline suppressions) plus a read-only *corpus* of non-source files the
+cross-cutting rules grep — test modules and the docs tree for the
+registry-coverage rule.
+
+Inline suppressions use the form::
+
+    some_call()  # repro: allow[<rule-id>] — why this is safe
+
+either trailing the offending line or standing alone on the line
+directly above it.  The rule id must be explicit (no blanket ``allow``)
+and the reason is mandatory — the ``suppression-hygiene`` rule rejects
+reason-less or unknown-rule suppressions.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import re
+from dataclasses import dataclass
+
+#: Matches ``# repro: allow[<rule-id>, <other-rule>] — reason text``.
+_SUPPRESSION = re.compile(
+    r"#\s*repro:\s*allow\[([A-Za-z0-9_,\s-]*)\]\s*(.*)$"
+)
+
+#: Directories/files loaded as the greppable corpus next to the source.
+CORPUS_GLOBS = (
+    ("tests", "**/*.py"),
+    ("docs", "**/*.md"),
+    (".", "README.md"),
+)
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One parsed ``# repro: allow[...]`` comment."""
+
+    line: int  # 1-based line the comment sits on
+    rule_ids: tuple[str, ...]
+    reason: str
+    standalone: bool  # the comment is the whole line (applies below)
+
+
+def _parse_suppressions(text: str) -> list[Suppression]:
+    out: list[Suppression] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        match = _SUPPRESSION.search(line)
+        if match is None:
+            continue
+        rule_ids = tuple(
+            part.strip() for part in match.group(1).split(",") if part.strip()
+        )
+        # Strip the leading dash/colon decoration off the reason text.
+        reason = match.group(2).strip().lstrip("-–—:").strip()
+        standalone = line.strip().startswith("#")
+        out.append(Suppression(lineno, rule_ids, reason, standalone))
+    return out
+
+
+@dataclass(frozen=True)
+class SourceModule:
+    """One parsed Python source file."""
+
+    relpath: str  # repo-relative POSIX path
+    text: str
+    tree: ast.Module
+    suppressions: tuple[Suppression, ...]
+
+    @classmethod
+    def parse(cls, relpath: str, text: str) -> SourceModule:
+        return cls(
+            relpath=relpath,
+            text=text,
+            tree=ast.parse(text, filename=relpath),
+            suppressions=tuple(_parse_suppressions(text)),
+        )
+
+    def is_suppressed(self, line: int, rule_id: str) -> bool:
+        """True when ``rule_id`` is allowed at ``line`` — by a trailing
+        comment on the line itself, or a standalone comment directly
+        above it."""
+        for supp in self.suppressions:
+            if rule_id not in supp.rule_ids:
+                continue
+            if supp.line == line:
+                return True
+            if supp.standalone and supp.line == line - 1:
+                return True
+        return False
+
+
+class Project:
+    """Parsed source modules plus the greppable docs/tests corpus."""
+
+    def __init__(
+        self,
+        modules: list[SourceModule],
+        corpus: dict[str, str] | None = None,
+        repo_root: pathlib.Path | None = None,
+    ) -> None:
+        self.modules = sorted(modules, key=lambda m: m.relpath)
+        self.corpus = dict(corpus or {})  # relpath -> raw text
+        self.repo_root = repo_root
+        self._by_relpath = {m.relpath: m for m in self.modules}
+
+    def module(self, relpath: str) -> SourceModule | None:
+        """The parsed module at a repo-relative path, or ``None``."""
+        return self._by_relpath.get(relpath)
+
+    def corpus_texts(self, prefix: str = "", suffix: str = "") -> dict[str, str]:
+        """The corpus entries whose relpath matches prefix/suffix."""
+        return {
+            relpath: text
+            for relpath, text in self.corpus.items()
+            if relpath.startswith(prefix) and relpath.endswith(suffix)
+        }
+
+    @classmethod
+    def load(
+        cls,
+        repo_root: pathlib.Path | str,
+        src_rel: str = "src/repro",
+        with_corpus: bool = True,
+    ) -> Project:
+        """Parse every ``.py`` under ``src_rel`` once, plus the corpus."""
+        root = pathlib.Path(repo_root)
+        src_dir = root / src_rel
+        if not src_dir.is_dir():
+            raise FileNotFoundError(
+                f"no source tree at {src_dir} (expected <root>/{src_rel})"
+            )
+        modules = [
+            SourceModule.parse(
+                path.relative_to(root).as_posix(), path.read_text()
+            )
+            for path in sorted(src_dir.rglob("*.py"))
+        ]
+        corpus: dict[str, str] = {}
+        if with_corpus:
+            for subdir, pattern in CORPUS_GLOBS:
+                base = root / subdir
+                if not base.exists():
+                    continue
+                for path in sorted(base.glob(pattern)):
+                    if path.is_file():
+                        corpus[path.relative_to(root).as_posix()] = (
+                            path.read_text()
+                        )
+        return cls(modules, corpus, repo_root=root)
+
+    @classmethod
+    def from_sources(cls, sources: dict[str, str]) -> Project:
+        """Build an in-memory project from ``{relpath: text}`` — the
+        test-fixture entry point.  ``.py`` entries become parsed
+        modules; anything else joins the corpus."""
+        modules = [
+            SourceModule.parse(relpath, text)
+            for relpath, text in sources.items()
+            if relpath.endswith(".py") and not relpath.startswith(("tests/",))
+        ]
+        corpus = {
+            relpath: text
+            for relpath, text in sources.items()
+            if not relpath.endswith(".py") or relpath.startswith("tests/")
+        }
+        return cls(modules, corpus)

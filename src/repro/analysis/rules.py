@@ -1,0 +1,106 @@
+"""The ``Rule`` contract and the :data:`ANALYSIS_RULES` registry.
+
+Mirrors the pluggable-strategy pattern the solver and emulation sides
+use (:data:`repro.thermal.backends.SOLVER_BACKENDS`,
+:data:`repro.emulation.backends.EMULATION_BACKENDS`): rules register by
+id, the walker (:mod:`repro.analysis.walker`) instantiates every
+registered rule and dispatches per-module / per-class / per-function
+visits, then a final whole-project pass.
+
+A rule implements any subset of the four hooks; each yields
+:class:`~repro.analysis.findings.Finding` records.  Rules should be
+pure functions of the project — no filesystem access, no imports of the
+analyzed code — so the same rule runs identically on the real tree and
+on in-memory fixture projects.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.analysis.findings import SEVERITY_ERROR, Finding
+from repro.analysis.project import Project, SourceModule
+from repro.util.registry import Registry
+
+#: All registered rules, by rule id (e.g. ``"lock-discipline"``).
+ANALYSIS_RULES: Registry[type[Rule]] = Registry("analysis rule")
+
+
+class Rule:
+    """One machine-checked repo invariant.
+
+    Subclasses set :attr:`rule_id` (the registry name, also used by
+    ``# repro: allow[<rule-id>]`` suppressions and baseline entries),
+    :attr:`summary` (one line for ``--list-rules``) and override the
+    hooks they need.
+    """
+
+    rule_id: str = ""
+    severity: str = SEVERITY_ERROR
+    summary: str = ""
+
+    def visit_module(
+        self, project: Project, module: SourceModule
+    ) -> Iterable[Finding]:
+        """Called once per source module."""
+        return ()
+
+    def visit_class(
+        self, project: Project, module: SourceModule, node: ast.ClassDef
+    ) -> Iterable[Finding]:
+        """Called for every class definition (any nesting depth)."""
+        return ()
+
+    def visit_function(
+        self,
+        project: Project,
+        module: SourceModule,
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+    ) -> Iterable[Finding]:
+        """Called for every function/method definition."""
+        return ()
+
+    def finish(self, project: Project) -> Iterable[Finding]:
+        """Called once after all modules — cross-module invariants."""
+        return ()
+
+    # -- helpers -----------------------------------------------------------
+    def finding(
+        self, path: str, line: int, message: str, severity: str | None = None
+    ) -> Finding:
+        """A :class:`Finding` stamped with this rule's id/severity."""
+        return Finding(
+            path=path,
+            line=line,
+            rule_id=self.rule_id,
+            severity=severity or self.severity,
+            message=message,
+        )
+
+    def at(
+        self, module: SourceModule, node: ast.AST, message: str
+    ) -> Finding:
+        """A finding anchored at an AST node of ``module``."""
+        line = getattr(node, "lineno", 1)
+        return self.finding(module.relpath, int(line), message)
+
+
+def iter_rule_classes(
+    only: Iterable[str] | None = None,
+) -> Iterator["type[Rule]"]:
+    """Registered rule classes, optionally restricted to ``only`` ids.
+
+    Importing :mod:`repro.analysis.checks` (done lazily here) is what
+    populates the registry.
+    """
+    import repro.analysis.checks  # noqa: F401  (registration side effect)
+
+    names = list(only) if only is not None else ANALYSIS_RULES.names()
+    for name in names:
+        yield ANALYSIS_RULES.get(name)
+
+
+def make_rule_table() -> list[tuple[str, str]]:
+    """``(rule_id, summary)`` rows for ``--list-rules``."""
+    return [(cls.rule_id, cls.summary) for cls in iter_rule_classes()]

@@ -1,0 +1,64 @@
+"""One-pass AST walk dispatching every rule over a project.
+
+The project is loaded and parsed exactly once
+(:meth:`repro.analysis.project.Project.load`); the walker then drives
+all rules through it — per-module, per-class and per-function hooks
+during a single ``ast.walk`` of each module, and one ``finish`` pass
+for cross-module invariants.  Findings suppressed by an inline
+``# repro: allow[<rule-id>] — reason`` comment are dropped here, so
+every rule stays suppression-agnostic.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Sequence
+
+from repro.analysis.findings import Finding
+from repro.analysis.project import Project
+from repro.analysis.rules import Rule, iter_rule_classes
+
+
+def make_rules(only: Sequence[str] | None = None) -> list[Rule]:
+    """Instantiate the registered rules (optionally a subset by id)."""
+    return [rule_cls() for rule_cls in iter_rule_classes(only)]
+
+
+def run_rules(
+    project: Project, rules: Iterable[Rule] | None = None
+) -> list[Finding]:
+    """All unsuppressed findings from ``rules`` over ``project``, sorted
+    by path, line and rule id."""
+    active = list(rules) if rules is not None else make_rules()
+    findings: list[Finding] = []
+    for module in project.modules:
+        for rule in active:
+            findings.extend(rule.visit_module(project, module))
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                for rule in active:
+                    findings.extend(rule.visit_class(project, module, node))
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                for rule in active:
+                    findings.extend(
+                        rule.visit_function(project, module, node)
+                    )
+    for rule in active:
+        findings.extend(rule.finish(project))
+
+    kept = []
+    for finding in findings:
+        module = project.module(finding.path)
+        if module is not None and module.is_suppressed(
+            finding.line, finding.rule_id
+        ):
+            continue
+        kept.append(finding)
+    return sorted(set(kept))
+
+
+def analyze(
+    repo_root: str, only: Sequence[str] | None = None
+) -> list[Finding]:
+    """Load the project at ``repo_root`` and run the (selected) rules."""
+    return run_rules(Project.load(repo_root), make_rules(only))

@@ -15,10 +15,10 @@ from dataclasses import asdict, dataclass, field
 from repro.core.dispatcher import BramBuffer, EthernetDispatcher
 from repro.core.sniffers import SnifferBank
 from repro.core.stats import ThermalTrace, TraceSample
-from repro.policy.builtin import NoManagementPolicy
 from repro.core.vpcm import FREEZE_ETHERNET, Vpcm
 from repro.emulation.backends import make_emulation_backend
 from repro.emulation.ethernet import EthernetLink
+from repro.policy.builtin import NoManagementPolicy
 from repro.power.models import PowerModel, make_tech_node
 from repro.thermal.backends import make_backend
 from repro.thermal.rc_network import network_for

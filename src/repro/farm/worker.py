@@ -28,7 +28,6 @@ import os
 import threading
 import time
 
-from repro.farm.jobs import Job  # noqa: F401  (re-exported for callers)
 
 #: Capability tags every stock worker advertises.
 DEFAULT_CAPABILITIES = ("emulate", "replay")

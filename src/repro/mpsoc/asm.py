@@ -22,9 +22,9 @@ from repro.mpsoc.isa import (
     FMT_R,
     IMM16_MAX,
     IMM16_MIN,
-    Instruction,
     OPS_BY_NAME,
     UIMM16_MAX,
+    Instruction,
 )
 
 REGISTER_ALIASES = {"zero": 0, "ra": 31, "sp": 30}

@@ -18,7 +18,7 @@ Two layers live here:
   agree on single-master traffic and conserve cycles on multi-master.
 """
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.mpsoc import events as ev
 from repro.mpsoc.events import CounterBlock, Observable

@@ -15,7 +15,7 @@ physical device is slower than the configured latency, the memory
 controller asks the VPCM to freeze the virtual clock for the difference.
 """
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.mpsoc import events as ev
 from repro.mpsoc.events import CounterBlock, Observable

@@ -17,7 +17,7 @@ individual flits cycle by cycle instead.
 XpipesCompiler topology generator.
 """
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import networkx as nx
 

@@ -14,7 +14,7 @@ need ("HW sniffers measure the time that each processor spends in
 active/stalled/idle mode", Section 4.1).
 """
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.mpsoc import isa
 from repro.mpsoc.events import CounterBlock, Observable

@@ -139,6 +139,7 @@ def _group_key(runnable):
     """
     structure = runnable.network.structure_key
     if structure is None:
+        # repro: allow[determinism] — process-local batching key; grouping affects solve order, never any emulated value
         structure = ("grid-id", id(runnable.grid))
     return (structure, runnable.config.sampling_period_s)
 

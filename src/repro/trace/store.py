@@ -50,16 +50,39 @@ from repro.util.locking import FileLock, atomic_write_json
 #: Default on-disk location used by the ``python -m repro trace`` CLI.
 DEFAULT_STORE_DIR = ".repro-traces"
 
-#: FrameworkConfig fields that only the SW thermal side consumes.
-THERMAL_SIDE_KEYS = (
-    "grid_mode",
-    "refine_critical",
-    "die_resolution",
-    "spreader_resolution",
-    "solver_backend",
-    "initial_temperature_kelvin",
-    "trace_stride",
+#: FrameworkConfig fields whose value shapes the recorded boundary
+#: stream — changing any of them changes what the HW emulation side
+#: does, so they must stay inside the digest's scenario projection.
+#: Every FrameworkConfig field must appear either here or in
+#: :data:`DIGEST_EXEMPT`; the ``digest-participation`` analysis rule
+#: (``python -m repro lint``) enforces the classification.
+DIGEST_PARTICIPANTS = (
+    "sampling_period_s",
+    "virtual_hz",
+    "physical_hz",
+    "sensor_upper_kelvin",
+    "sensor_lower_kelvin",
+    "monitored_components",
+    "ethernet_bandwidth_bps",
+    "bram_capacity_bytes",
+    "emulation_backend",
+    "tech_node",
 )
+
+#: FrameworkConfig fields that only the SW thermal side consumes, with
+#: the reason each is safe to drop from open-loop digests.
+DIGEST_EXEMPT = {
+    "grid_mode": "thermal grid refinement; never reaches the HW side",
+    "refine_critical": "thermal grid refinement; never reaches the HW side",
+    "die_resolution": "thermal mesh density; boundary stream unchanged",
+    "spreader_resolution": "thermal mesh density; boundary stream unchanged",
+    "solver_backend": "solver choice is bit-equivalent by the PR 5 tests",
+    "initial_temperature_kelvin": "thermal state only; open-loop HW ignores it",
+    "trace_stride": "reporting decimation; emulated behaviour unchanged",
+}
+
+#: Exempt fields in declaration order (dropped from open-loop digests).
+THERMAL_SIDE_KEYS = tuple(DIGEST_EXEMPT)
 
 #: Policy names whose runs never feed temperature back into the clock.
 _OPEN_LOOP_POLICIES = ("none",)

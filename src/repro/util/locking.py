@@ -15,41 +15,49 @@ directory tree.  Two primitives make that safe on POSIX filesystems:
   interleave because each writes its own temp file.
 """
 
+from __future__ import annotations
+
 import json
 import os
 import pathlib
 import time
+from types import TracebackType
+from typing import Any, Union
 
 try:  # POSIX; the spin-lock fallback keeps exotic platforms working.
     import fcntl
 except ImportError:  # pragma: no cover - non-POSIX only
-    fcntl = None
+    fcntl = None  # type: ignore[assignment]
+
+PathLike = Union[str, "os.PathLike[str]"]
 
 
-def unique_tmp_path(path):
+def unique_tmp_path(path: PathLike) -> pathlib.Path:
     """A collision-free sibling temp path for writes destined for
     ``path`` (unique per process *and* per call, so two writers racing
     on one content-addressed destination never share a temp file)."""
-    path = pathlib.Path(path)
+    target = pathlib.Path(path)
     token = f"{os.getpid()}.{os.urandom(4).hex()}"
-    return path.with_name(f".{path.name}.{token}.tmp")
+    return target.with_name(f".{target.name}.{token}.tmp")
 
 
-def atomic_write_text(path, text):
+def atomic_write_text(path: PathLike, text: str) -> pathlib.Path:
     """Atomically replace ``path`` with ``text``; returns ``path``."""
-    path = pathlib.Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    tmp = unique_tmp_path(path)
+    target = pathlib.Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    tmp = unique_tmp_path(target)
     try:
         tmp.write_text(text)
-        os.replace(tmp, path)
+        os.replace(tmp, target)
     except BaseException:
         tmp.unlink(missing_ok=True)
         raise
-    return path
+    return target
 
 
-def atomic_write_json(path, payload, **dumps_kwargs):
+def atomic_write_json(
+    path: PathLike, payload: Any, **dumps_kwargs: Any
+) -> pathlib.Path:
     """Atomically replace ``path`` with ``payload`` as JSON."""
     dumps_kwargs.setdefault("sort_keys", True)
     return atomic_write_text(path, json.dumps(payload, **dumps_kwargs) + "\n")
@@ -65,18 +73,25 @@ class FileLock:
     the process; the spin fallback honors ``stale_seconds``).
     """
 
-    def __init__(self, path, timeout=30.0, poll_s=0.01, stale_seconds=60.0):
+    def __init__(
+        self,
+        path: PathLike,
+        timeout: float = 30.0,
+        poll_s: float = 0.01,
+        stale_seconds: float = 60.0,
+    ) -> None:
         self.path = pathlib.Path(path)
         self.timeout = timeout
         self.poll_s = poll_s
         self.stale_seconds = stale_seconds
-        self._fd = None
+        self._fd: int | None = None
+        self._marker: pathlib.Path | None = None
 
     @property
-    def held(self):
+    def held(self) -> bool:
         return self._fd is not None
 
-    def acquire(self):
+    def acquire(self) -> FileLock:
         if self.held:
             raise RuntimeError(f"lock {self.path} is already held")
         self.path.parent.mkdir(parents=True, exist_ok=True)
@@ -98,7 +113,7 @@ class FileLock:
                     time.sleep(self.poll_s)
         return self._acquire_spin()  # pragma: no cover - non-POSIX only
 
-    def _acquire_spin(self):  # pragma: no cover - non-POSIX only
+    def _acquire_spin(self) -> FileLock:  # pragma: no cover - non-POSIX only
         marker = self.path.with_name(self.path.name + ".held")
         deadline = time.monotonic() + self.timeout
         while True:
@@ -122,19 +137,26 @@ class FileLock:
                     ) from None
                 time.sleep(self.poll_s)
 
-    def release(self):
-        if not self.held:
+    def release(self) -> None:
+        if self._fd is None:
             return
-        fd, self._fd = self._fd, None
+        fd = self._fd
+        self._fd = None
         if fcntl is not None:
             fcntl.flock(fd, fcntl.LOCK_UN)
             os.close(fd)
         else:  # pragma: no cover - non-POSIX only
             os.close(fd)
-            self._marker.unlink(missing_ok=True)
+            if self._marker is not None:
+                self._marker.unlink(missing_ok=True)
 
-    def __enter__(self):
+    def __enter__(self) -> FileLock:
         return self.acquire()
 
-    def __exit__(self, *exc_info):
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
         self.release()

@@ -4,8 +4,12 @@ The benches regenerate the paper's tables as plain text; ``Table`` gives
 them a uniform, dependency-free renderer.
 """
 
+from __future__ import annotations
 
-def format_si(value, unit="", digits=3):
+from typing import Iterable
+
+
+def format_si(value: float, unit: str = "", digits: int = 3) -> str:
     """Format ``value`` with an SI prefix (``1.2e-3`` -> ``"1.2 m"``).
 
     Returns a string such as ``"43 mW"`` or ``"1.65 s"``.
@@ -31,7 +35,7 @@ def format_si(value, unit="", digits=3):
     return f"{value / scale:.{digits}g} {prefix}{unit}".rstrip()
 
 
-def format_duration(seconds):
+def format_duration(seconds: float) -> str:
     """Format a duration the way the paper's Table 3 does (``5' 02 sec``)."""
     if seconds < 0:
         raise ValueError(f"negative duration: {seconds!r}")
@@ -50,12 +54,14 @@ def format_duration(seconds):
 class Table:
     """A minimal fixed-width text table used by reports and benches."""
 
-    def __init__(self, headers, title=None):
+    def __init__(
+        self, headers: Iterable[object], title: str | None = None
+    ) -> None:
         self.title = title
         self.headers = [str(h) for h in headers]
-        self.rows = []
+        self.rows: list[list[str]] = []
 
-    def add_row(self, *cells):
+    def add_row(self, *cells: object) -> None:
         """Append a row; cells are stringified with ``str``."""
         if len(cells) != len(self.headers):
             raise ValueError(
@@ -63,7 +69,7 @@ class Table:
             )
         self.rows.append([str(c) for c in cells])
 
-    def render(self):
+    def render(self) -> str:
         """Render the table to a single string."""
         widths = [len(h) for h in self.headers]
         for row in self.rows:
@@ -79,5 +85,5 @@ class Table:
             lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
         return "\n".join(lines)
 
-    def __str__(self):
+    def __str__(self) -> str:
         return self.render()

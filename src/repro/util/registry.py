@@ -1,24 +1,40 @@
 """A generic named string-keyed registry.
 
 Used across layers: the scenario package resolves floorplans, policies
-and workload generators by name, and the thermal package resolves solver
-backends the same way.  Living in ``repro.util`` keeps the dependency
-direction clean (thermal must not import scenario).
+and workload generators by name, the thermal package resolves solver
+backends the same way, and the static analysis resolves rules.  Living
+in ``repro.util`` keeps the dependency direction clean (thermal must
+not import scenario).
 """
 
+from __future__ import annotations
 
-class Registry:
+from typing import Callable, Generic, TypeVar, overload
+
+T = TypeVar("T")
+
+
+class Registry(Generic[T]):
     """A named string-keyed registry with helpful unknown-name errors."""
 
-    def __init__(self, kind):
+    def __init__(self, kind: str) -> None:
         self.kind = kind
-        self._entries = {}
+        self._entries: dict[str, T] = {}
 
-    def register(self, name, obj=None):
+    @overload
+    def register(self, name: str) -> Callable[[T], T]: ...
+
+    @overload
+    def register(self, name: str, obj: T) -> T: ...
+
+    def register(
+        self, name: str, obj: T | None = None
+    ) -> T | Callable[[T], T]:
         """Register ``obj`` under ``name``; usable as a decorator when
         ``obj`` is omitted."""
         if obj is None:
-            def decorator(fn):
+
+            def decorator(fn: T) -> T:
                 self.register(name, fn)
                 return fn
 
@@ -30,10 +46,10 @@ class Registry:
         self._entries[name] = obj
         return obj
 
-    def unregister(self, name):
+    def unregister(self, name: str) -> None:
         self._entries.pop(name, None)
 
-    def get(self, name):
+    def get(self, name: str) -> T:
         try:
             return self._entries[name]
         except KeyError:
@@ -42,11 +58,11 @@ class Registry:
                 f"(available: {', '.join(sorted(self._entries))})"
             ) from None
 
-    def names(self):
+    def names(self) -> list[str]:
         return sorted(self._entries)
 
-    def __contains__(self, name):
+    def __contains__(self, name: object) -> bool:
         return name in self._entries
 
-    def __len__(self):
+    def __len__(self) -> int:
         return len(self._entries)

@@ -37,11 +37,11 @@ MB = 1024 * 1024
 ZERO_CELSIUS_IN_KELVIN = 273.15
 
 
-def celsius_to_kelvin(t_celsius):
+def celsius_to_kelvin(t_celsius: float) -> float:
     """Convert a temperature from degrees Celsius to Kelvin."""
     return t_celsius + ZERO_CELSIUS_IN_KELVIN
 
 
-def kelvin_to_celsius(t_kelvin):
+def kelvin_to_celsius(t_kelvin: float) -> float:
     """Convert a temperature from Kelvin to degrees Celsius."""
     return t_kelvin - ZERO_CELSIUS_IN_KELVIN

@@ -1,0 +1,16 @@
+# relpath: src/repro/emulation/engine.py
+"""The replayable spellings of the same operations."""
+
+import random
+import time
+
+
+def schedule(events, seed):
+    rng = random.Random(seed)
+    jitter = rng.random()
+    elapsed = time.perf_counter()
+    return jitter, elapsed, sorted(events, key=lambda e: e.index)
+
+
+def drain(pending):
+    return [item for item in sorted(set(pending))]

@@ -1,0 +1,16 @@
+# relpath: src/repro/emulation/engine.py
+"""Every banned construct: id() keys, unseeded random, wall clock,
+set-order iteration in a hot-path module."""
+
+import random
+import time
+
+
+def schedule(events):
+    jitter = random.random()
+    stamp = time.time()
+    return jitter, stamp, sorted(events, key=lambda e: id(e))
+
+
+def drain(pending):
+    return [item for item in set(pending)]

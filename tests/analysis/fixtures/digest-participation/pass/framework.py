@@ -1,0 +1,10 @@
+# relpath: src/repro/core/framework.py
+"""Mini FrameworkConfig; every field is classified in store.py."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class FrameworkConfig:
+    sampling_period_s: float = 0.01
+    solver_backend: str = "sparse_be"

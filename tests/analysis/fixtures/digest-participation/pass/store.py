@@ -1,0 +1,10 @@
+# relpath: src/repro/trace/store.py
+"""Complete digest classification with the canonical derived tuple."""
+
+DIGEST_PARTICIPANTS = ("sampling_period_s",)
+
+DIGEST_EXEMPT = {
+    "solver_backend": "solver backends are bit-equivalent by the cross tests",
+}
+
+THERMAL_SIDE_KEYS = tuple(DIGEST_EXEMPT)

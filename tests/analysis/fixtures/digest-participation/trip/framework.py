@@ -1,0 +1,10 @@
+# relpath: src/repro/core/framework.py
+"""Mini FrameworkConfig with a knob store.py never classified."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class FrameworkConfig:
+    sampling_period_s: float = 0.01
+    solver_backend: str = "sparse_be"

@@ -1,0 +1,8 @@
+# relpath: src/repro/trace/store.py
+"""Digest tables missing the solver_backend classification."""
+
+DIGEST_PARTICIPANTS = ("sampling_period_s",)
+
+DIGEST_EXEMPT = {}
+
+THERMAL_SIDE_KEYS = tuple(DIGEST_EXEMPT)

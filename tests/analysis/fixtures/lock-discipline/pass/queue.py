@@ -1,0 +1,36 @@
+# relpath: src/repro/farm/queue.py
+"""The sanctioned shape: FileLock around every reachable write."""
+
+import json
+
+from repro.util.locking import FileLock, atomic_write_json
+
+
+class JobQueue:
+    def __init__(self, path):
+        self.path = path
+
+    def _lock(self):
+        return FileLock(str(self.path) + ".lock")
+
+    def _save(self, jobs):
+        # Writes without taking the lock itself; fine, because every
+        # call site below holds it.
+        atomic_write_json(self.path, jobs)
+
+    def submit(self, job):
+        with self._lock():
+            jobs = self._load()
+            jobs.append(job)
+            self._save(jobs)
+
+    def clear(self):
+        with self._lock():
+            self._save([])
+
+    def _load(self):
+        try:
+            with open(self.path) as handle:  # read mode is unrestricted
+                return json.load(handle)
+        except FileNotFoundError:
+            return []

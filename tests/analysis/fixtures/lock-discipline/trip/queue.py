@@ -1,0 +1,17 @@
+# relpath: src/repro/farm/queue.py
+"""Both incident classes: a raw write and an unguarded atomic write."""
+
+import json
+
+from repro.util.locking import atomic_write_json
+
+
+class JobQueue:
+    def save_unlocked(self, path, jobs):
+        # Writer that no lexical lock (and no caller) ever guards.
+        atomic_write_json(path, jobs)
+
+    def export(self, path, jobs):
+        # The .tmp truncation race class: raw write-mode open().
+        with open(path, "w") as handle:
+            json.dump(jobs, handle)

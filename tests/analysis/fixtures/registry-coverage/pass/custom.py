@@ -1,0 +1,9 @@
+# relpath: src/repro/workloads/custom.py
+"""Registers a workload that tests and docs both reference."""
+
+from repro.scenario.registry import WORKLOADS
+
+
+@WORKLOADS.register("covered_widget")
+def covered_widget(platform, config):
+    return None

@@ -1,0 +1,6 @@
+# relpath: tests/test_widgets.py
+"""A test corpus that never names the registered workload."""
+
+
+def test_nothing():
+    assert True

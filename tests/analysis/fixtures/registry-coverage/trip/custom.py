@@ -1,0 +1,9 @@
+# relpath: src/repro/workloads/custom.py
+"""Registers a workload that neither tests nor docs ever mention."""
+
+from repro.scenario.registry import WORKLOADS
+
+
+@WORKLOADS.register("orphan_widget")
+def orphan_widget(platform, config):
+    return None

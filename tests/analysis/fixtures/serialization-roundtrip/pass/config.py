@@ -1,0 +1,35 @@
+# relpath: src/repro/demo/config.py
+"""Complete round-trips: explicit keys, cls(**data), and asdict."""
+
+from dataclasses import asdict, dataclass
+
+
+@dataclass
+class WidgetConfig:
+    width: int = 1
+    height: int = 2
+
+    def to_dict(self):
+        return {"width": self.width, "height": self.height}
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(**data)
+
+
+@dataclass
+class WholesaleConfig:
+    depth: int = 3
+
+    def to_dict(self):
+        return asdict(self)
+
+
+@dataclass
+class ReportOnly:
+    """One-way report type: no from_dict is fine."""
+
+    label: str = ""
+
+    def to_dict(self):
+        return {"label": self.label}

@@ -1,0 +1,17 @@
+# relpath: src/repro/demo/config.py
+"""A config dataclass whose to_dict/from_dict both dropped a field."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class WidgetConfig:
+    width: int = 1
+    height: int = 2
+
+    def to_dict(self):
+        return {"width": self.width}
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(width=data["width"])

@@ -1,0 +1,10 @@
+# relpath: src/repro/demo/mod.py
+"""A well-formed suppression: known rule, real reason."""
+
+import random
+
+
+def pick(values, seed):
+    rng = random.Random(seed)
+    # repro: allow[determinism] — seeded stream, replayable by construction
+    return rng.choice(list(values))

@@ -1,0 +1,6 @@
+# relpath: src/repro/demo/mod.py
+"""Blanket, unknown-rule and reason-less suppressions."""
+
+FIRST = 1  # repro: allow[] — names no rule at all
+SECOND = 2  # repro: allow[not-a-rule] — rule id does not exist
+THIRD = 3  # repro: allow[determinism] — no

@@ -1,0 +1,124 @@
+"""``python -m repro lint`` CLI behaviour, plus the acceptance gate:
+the real repository lints clean against its committed (empty) baseline.
+"""
+
+import json
+import pathlib
+
+from repro.analysis.cli import main as lint_main
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+VIOLATION = (
+    '"""Demo module with one determinism violation."""\n'
+    "\n"
+    "\n"
+    "def key(obj):\n"
+    "    return id(obj)\n"
+)
+
+CLEAN = (
+    '"""Demo module with no violations."""\n'
+    "\n"
+    "\n"
+    "def key(obj):\n"
+    "    return obj.index\n"
+)
+
+
+def make_repo(tmp_path, text=VIOLATION):
+    module = tmp_path / "src" / "repro" / "util" / "helpers.py"
+    module.parent.mkdir(parents=True)
+    module.write_text(text)
+    return tmp_path
+
+
+def test_lint_reports_finding_and_fails(tmp_path, capsys):
+    root = make_repo(tmp_path)
+    assert lint_main(["--root", str(root)]) == 1
+    out = capsys.readouterr().out
+    assert "src/repro/util/helpers.py:5" in out
+    assert "[determinism]" in out
+    assert "1 new" in out
+
+
+def test_lint_clean_repo_passes(tmp_path, capsys):
+    root = make_repo(tmp_path, CLEAN)
+    assert lint_main(["--root", str(root), "--check"]) == 0
+    assert "0 new" in capsys.readouterr().out
+
+
+def test_rule_selection_and_unknown_rule(tmp_path, capsys):
+    root = make_repo(tmp_path)
+    # Only running an unrelated rule: the id() violation is invisible.
+    assert lint_main(
+        ["--root", str(root), "--rule", "lock-discipline"]
+    ) == 0
+    assert lint_main(["--root", str(root), "--rule", "nope"]) == 2
+    assert "unknown analysis rule" in capsys.readouterr().err
+
+
+def test_list_rules(capsys):
+    assert lint_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    assert "determinism" in out and "lock-discipline" in out
+
+
+def test_baseline_lifecycle(tmp_path, capsys):
+    """update-baseline grandfathers findings; --check rejects stale
+    entries once they are fixed, so the ledger can only shrink."""
+    root = make_repo(tmp_path)
+    baseline = root / "analysis-baseline.json"
+
+    assert lint_main(["--root", str(root)]) == 1
+    assert lint_main(["--root", str(root), "--update-baseline"]) == 0
+    data = json.loads(baseline.read_text())
+    assert data["version"] == 1 and len(data["findings"]) == 1
+
+    # Baselined: reported, but not a failure.
+    capsys.readouterr()
+    assert lint_main(["--root", str(root)]) == 0
+    out = capsys.readouterr().out
+    assert "(baselined)" in out and "1 baselined" in out
+    assert lint_main(["--root", str(root), "--check"]) == 0
+
+    # Fix the violation: plain lint passes, --check flags the stale key.
+    (root / "src" / "repro" / "util" / "helpers.py").write_text(CLEAN)
+    assert lint_main(["--root", str(root)]) == 0
+    capsys.readouterr()
+    assert lint_main(["--root", str(root), "--check"]) == 1
+    assert "stale baseline entry" in capsys.readouterr().out
+
+
+def test_json_artifact(tmp_path):
+    root = make_repo(tmp_path)
+    out_path = tmp_path / "findings.json"
+    assert lint_main(
+        ["--root", str(root), "--json", str(out_path)]
+    ) == 1
+    payload = json.loads(out_path.read_text())
+    assert payload["rules"] == [
+        "determinism",
+        "digest-participation",
+        "lock-discipline",
+        "registry-coverage",
+        "serialization-roundtrip",
+        "suppression-hygiene",
+    ]
+    (finding,) = payload["findings"]
+    assert finding["rule_id"] == "determinism"
+    assert finding["baselined"] is False
+
+
+def test_missing_root_is_usage_error(tmp_path, capsys):
+    assert lint_main(["--root", str(tmp_path / "nowhere")]) == 2
+    assert "no src/repro tree" in capsys.readouterr().err
+
+
+def test_real_repo_lints_clean_with_empty_baseline(capsys):
+    """Acceptance: the committed baseline is empty and the tree is clean."""
+    baseline = json.loads((REPO_ROOT / "analysis-baseline.json").read_text())
+    assert baseline["findings"] == []
+    code = lint_main(["--root", str(REPO_ROOT), "--check"])
+    out = capsys.readouterr().out
+    assert code == 0, f"repo has new findings:\n{out}"

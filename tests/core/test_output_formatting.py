@@ -1,9 +1,7 @@
 """Render-path coverage: ThermalTrace CSV/chart output and the
 RunReport / ScenarioResult summaries the report pipeline depends on."""
 
-import math
 
-import pytest
 
 from repro.core.framework import RunReport
 from repro.core.stats import ThermalTrace, TraceSample

@@ -3,14 +3,14 @@
 import pytest
 
 from repro.core.sniffers import (
-    CountLoggingSniffer,
-    EventLoggingSniffer,
     KIND_COUNT_LOGGING,
     KIND_EVENT_LOGGING,
     REG_ENABLE,
     REG_KIND,
     REG_SELECT,
     REG_VALUE,
+    CountLoggingSniffer,
+    EventLoggingSniffer,
     SnifferBank,
 )
 from repro.mpsoc.cache import Cache, CacheConfig

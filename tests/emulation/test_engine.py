@@ -3,10 +3,8 @@
 import pytest
 
 from repro.emulation.engine import EventDrivenEngine
-from repro.mpsoc import build_platform
 from repro.mpsoc.asm import assemble
 from repro.mpsoc.platform import SHARED_BASE
-from tests.conftest import small_config
 
 
 def counting_program(n):

@@ -5,7 +5,6 @@ import pytest
 from repro.emulation.ethernet import (
     ETHERNET_100_MBIT,
     MAC_FRAME_OVERHEAD_BYTES,
-    MAC_MAX_PAYLOAD_BYTES,
     EthernetLink,
 )
 

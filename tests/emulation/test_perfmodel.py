@@ -4,8 +4,8 @@ import pytest
 
 from repro.emulation.perfmodel import (
     DEFAULT_MPARM_MODEL,
-    EmulatorPerformanceModel,
     TABLE3_ROWS,
+    EmulatorPerformanceModel,
     fit_mparm_model,
 )
 from repro.util.units import MHZ

@@ -3,12 +3,7 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.mpsoc.cache import (
-    Cache,
-    CacheConfig,
-    WRITE_BACK,
-    WRITE_THROUGH,
-)
+from repro.mpsoc.cache import WRITE_BACK, WRITE_THROUGH, Cache, CacheConfig
 
 
 def make_cache(size=256, line=16, assoc=1, policy=WRITE_THROUGH):

@@ -12,11 +12,11 @@ from repro.mpsoc.isa import (
     IMM16_MAX,
     IMM16_MIN,
     IMM21_MAX,
-    Instruction,
-    IsaError,
     OPS_BY_CODE,
     OPS_BY_NAME,
     UIMM16_MAX,
+    Instruction,
+    IsaError,
     decode,
     sign_extend,
     to_signed,

@@ -17,18 +17,8 @@ import random
 
 import pytest
 
-from repro.mpsoc.isa import (
-    CLASS_ALU,
-    CLASS_BRANCH,
-    CLASS_DIV,
-    CLASS_JUMP,
-    CLASS_LOAD,
-    CLASS_MUL,
-    CLASS_STORE,
-    CLASS_SYSTEM,
-)
 from repro.mpsoc.asm import assemble
-from repro.mpsoc.isa import decode
+from repro.mpsoc.isa import CLASS_LOAD, CLASS_STORE, decode
 from repro.mpsoc.platform import CORE_SPECS, CoreConfig, MPSoCConfig, Platform
 from repro.util.units import KB
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.mpsoc.cache import Cache, CacheConfig, WRITE_BACK
+from repro.mpsoc.cache import WRITE_BACK, Cache, CacheConfig
 from repro.mpsoc.memctrl import AccessFault, AddressRange, MemoryController
 from repro.mpsoc.memory import Memory, MemoryConfig
 

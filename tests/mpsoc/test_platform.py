@@ -4,14 +4,13 @@ import pytest
 
 from repro.mpsoc import MPSoCConfig, build_platform, generate_mesh
 from repro.mpsoc.asm import assemble
-from repro.mpsoc.cache import CacheConfig
 from repro.mpsoc.memctrl import AccessFault
 from repro.mpsoc.platform import (
     MMIO_BASE,
     PRIVATE_BASE,
     SHARED_BASE,
-    CoreConfig,
     V2VP30_SLICES,
+    CoreConfig,
 )
 from tests.conftest import small_config
 

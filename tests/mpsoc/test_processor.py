@@ -11,7 +11,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.mpsoc import build_platform
 from repro.mpsoc.asm import assemble
-from repro.mpsoc.processor import CORE_SPECS, ExecutionError, Processor
+from repro.mpsoc.processor import CORE_SPECS, ExecutionError
 from tests.conftest import small_config
 
 I32 = st.integers(min_value=-(2**31), max_value=2**31 - 1)

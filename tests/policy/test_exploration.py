@@ -4,15 +4,15 @@ per-domain) against hand-driven sensor banks and a real closed loop."""
 import pytest
 
 from repro.core.framework import EmulationFramework, FrameworkConfig
-from repro.core.workload_model import ActivityProfile, ProfiledWorkload
 from repro.core.vpcm import Vpcm
-from repro.thermal.floorplan import floorplan_4xarm11
+from repro.core.workload_model import ActivityProfile, ProfiledWorkload
 from repro.policy.exploration import (
     DvfsLadderPolicy,
     PerDomainPolicy,
     PidFrequencyPolicy,
     PredictiveThrottlePolicy,
 )
+from repro.thermal.floorplan import floorplan_4xarm11
 from repro.thermal.sensors import SensorBank
 from repro.util.units import MHZ
 

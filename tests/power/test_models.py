@@ -5,10 +5,10 @@ from hypothesis import given, settings, strategies as st
 
 from repro.power.models import (
     ACTIVE_WEIGHT,
+    IDLE_WEIGHT,
+    STALL_WEIGHT,
     ActivityVector,
     PowerModel,
-    STALL_WEIGHT,
-    IDLE_WEIGHT,
 )
 from repro.thermal.floorplan import floorplan_4xarm11
 from repro.util.units import MHZ

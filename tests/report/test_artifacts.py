@@ -18,8 +18,8 @@ from repro.report.pipeline import (
     to_json,
     write_report,
 )
-from repro.scenario.runner import Runner
 from repro.report.render import markdown_table
+from repro.scenario.runner import Runner
 from repro.util.records import Table
 
 

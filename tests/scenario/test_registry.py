@@ -2,13 +2,14 @@
 
 import pytest
 
-from repro.scenario import FLOORPLANS, POLICIES, WORKLOADS, Registry
 from repro.core.thermal_manager import (
     DualThresholdDfsPolicy,
     NoManagementPolicy,
     PerCoreDfsPolicy,
     StopGoPolicy,
 )
+from repro.policy import PerDomainPolicy
+from repro.scenario import FLOORPLANS, POLICIES, WORKLOADS, Registry
 
 
 def test_builtin_floorplans():
@@ -29,6 +30,10 @@ def test_builtin_policies():
         core_components={"arm11_0": 0}, high_hz=5e8, low_hz=1e8
     )
     assert isinstance(per_core, PerCoreDfsPolicy)
+    per_domain = POLICIES.get("per_domain")(
+        core_components={"arm11_0": 0}
+    )
+    assert isinstance(per_domain, PerDomainPolicy)
 
 
 def test_builtin_workloads():

@@ -1,7 +1,6 @@
 """Cross-module integration tests: the paper's flows end to end."""
 
 import numpy as np
-import pytest
 
 from repro import (
     CacheConfig,
@@ -17,7 +16,6 @@ from repro import (
     dithering_programs,
     floorplan_4xarm11,
     floorplan_4xarm7,
-    generate_mesh,
     golden_dither,
     load_images,
     matrix_programs,

@@ -9,7 +9,6 @@ from repro.thermal.backends import (
     SOLVER_BACKENDS,
     BatchedLU,
     CachedLU,
-    SolverBackend,
     SparseBE,
     make_backend,
 )

@@ -1,6 +1,5 @@
 """Calibration-suite thresholds (the FEM-calibration substitute)."""
 
-import pytest
 
 from repro.thermal.calibration import (
     analytic_layered_wall,

@@ -6,8 +6,8 @@ from repro.power.library import DEFAULT_LIBRARY
 from repro.thermal.floorplan import (
     Floorplan,
     FloorplanComponent,
-    floorplan_4xarm7,
     floorplan_4xarm11,
+    floorplan_4xarm7,
 )
 
 

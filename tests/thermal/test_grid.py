@@ -4,9 +4,12 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.thermal.calibration import uniform_floorplan
-from repro.thermal.floorplan import Floorplan, FloorplanComponent
+from repro.thermal.floorplan import (
+    Floorplan,
+    FloorplanComponent,
+    floorplan_4xarm7,
+)
 from repro.thermal.grid import LAYER_DIE, LAYER_SPREADER, build_grid
-from repro.thermal.floorplan import floorplan_4xarm7
 
 
 def test_component_mode_one_cell_per_rect():

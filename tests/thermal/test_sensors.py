@@ -6,9 +6,9 @@ from hypothesis import given, settings, strategies as st
 from repro.thermal.sensors import (
     IN_BAND,
     OVER_UPPER,
+    UNDER_LOWER,
     SensorBank,
     TemperatureSensor,
-    UNDER_LOWER,
 )
 
 

@@ -15,7 +15,6 @@ import pytest
 
 from repro.trace import TraceStore, load_archive, record
 from repro.util.locking import FileLock, atomic_write_json, unique_tmp_path
-from tests.trace.conftest import short_scenario
 
 
 def _fork_ctx():
