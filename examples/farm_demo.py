@@ -23,8 +23,9 @@ Run:  python examples/farm_demo.py [--workers 4] [--dir DIR]
 import argparse
 import tempfile
 import time
+import urllib.request
 
-from repro.farm import LocalFarm
+from repro.farm import FarmService, LocalFarm
 from repro.scenario.presets import PRESETS
 from repro.scenario.sweep import Variant, sweep
 from repro.util.records import Table
@@ -52,13 +53,32 @@ def thirty_two_variants():
     return members
 
 
+HEADLINE_METRICS = (
+    "repro_farm_jobs",
+    "repro_farm_emulated_jobs",
+    "repro_farm_replayed_jobs",
+    "repro_farm_store_hit_ratio",
+    "repro_farm_claims_total",
+)
+
+
+def scrape_metrics(url):
+    """GET /metrics from the demo's own service (Prometheus text)."""
+    with urllib.request.urlopen(url + "/metrics", timeout=10) as response:
+        return response.read().decode("utf-8")
+
+
 def run_demo(base_dir, workers):
     members = thirty_two_variants()
     print(f"Submitting {len(members)} scenario variants to a "
           f"{workers}-worker farm under {base_dir} ...")
     start = time.perf_counter()
     with LocalFarm(base_dir, workers=workers) as farm:
-        jobs = farm.run(members, timeout=600.0)
+        # Serve the queue over HTTP alongside the workers so the demo
+        # can end with a real Prometheus scrape of its own farm.
+        with FarmService(farm.queue) as service:
+            jobs = farm.run(members, timeout=600.0)
+            metrics_text = scrape_metrics(service.url)
     wall = time.perf_counter() - start
 
     emulated = [j for j in jobs if j.provenance["mode"] == "emulated"]
@@ -91,6 +111,16 @@ def run_demo(base_dir, workers):
           f"(= {len(digests)} unique digests — the farm's dedup floor)")
     print(f"Replays from shared store: {len(replayed)}")
     print(f"Wall time                : {wall:.2f} s for {len(jobs)} results")
+
+    headline = [
+        line for line in metrics_text.splitlines()
+        if line.split("{")[0].split(" ")[0] in HEADLINE_METRICS
+        and not line.startswith("#")
+    ]
+    print("\nGET /metrics (farm service, headline series):")
+    for line in headline:
+        print(f"  {line}")
+
     failed = [j for j in jobs if j.state != "done"]
     if failed:
         print(f"FAILED jobs: {[j.name for j in failed]}")

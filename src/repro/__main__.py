@@ -13,6 +13,7 @@ Usage::
     python -m repro farm serve|submit|status|workers|work ...
     python -m repro dse [--check] [--out report.json] ...
     python -m repro lint [--check] [--list-rules] [--rule ID] ...
+    python -m repro obs timeline|metrics|catalog ...
 
 A spec file holds either one scenario (``Scenario.to_dict()`` form) or a
 suite (``{"name": ..., "scenarios": [...]}``); every run prints the
@@ -119,6 +120,11 @@ def main(argv=None):
         from repro.analysis.cli import main as lint_main
 
         return lint_main(argv[1:])
+    if argv and argv[0] == "obs":
+        # Observability: span-log timelines and metric snapshots.
+        from repro.obs.cli import main as obs_main
+
+        return obs_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -166,6 +172,11 @@ def main(argv=None):
     parser.add_argument(
         "--json", action="store_true", dest="as_json",
         help="print results as JSON instead of summaries",
+    )
+    parser.add_argument(
+        "--obs-log", metavar="PATH",
+        help="record a JSONL span log of the run (inspect with "
+        "'python -m repro obs timeline PATH')",
     )
     args = parser.parse_args(argv)
 
@@ -215,11 +226,19 @@ def main(argv=None):
         print(json.dumps(payload, indent=2))
         return 0
 
-    runner = Runner(workers=args.workers)
-    if args.batched:
-        results = runner.run_batched(scenarios)
-    else:
-        results = runner.run(scenarios)
+    import contextlib
+
+    observe = contextlib.nullcontext()
+    if args.obs_log:
+        from repro.obs import tracing as obs_tracing
+
+        observe = obs_tracing.trace_to(args.obs_log)
+    with observe:
+        runner = Runner(workers=args.workers)
+        if args.batched:
+            results = runner.run_batched(scenarios)
+        else:
+            results = runner.run(scenarios)
     if args.as_json:
         print(json.dumps([r.to_dict() for r in results], indent=2))
     else:

@@ -14,7 +14,9 @@ then requires each name to appear (as a whole word) in at least one
 test module under ``tests/`` and once in the docs corpus
 (``docs/*.md`` or ``README.md``).  The analysis rules' own registry is
 watched too, which is what forces every rule to ship fixtures and a
-docs-catalog entry.
+docs-catalog entry — and so is the observability catalog
+(``OBS_METRICS`` / ``OBS_SPANS`` in :mod:`repro.obs.catalog`), holding
+every metric and span name to the same tested-and-documented bar.
 """
 
 from __future__ import annotations
@@ -34,6 +36,8 @@ WATCHED_REGISTRIES = (
     "SOLVER_BACKENDS",
     "EMULATION_BACKENDS",
     "ANALYSIS_RULES",
+    "OBS_METRICS",
+    "OBS_SPANS",
 )
 
 #: Seed dict literals feeding a watched registry (``registry.py`` loops
@@ -93,8 +97,8 @@ class RegistryCoverageRule(Rule):
     rule_id = "registry-coverage"
     summary = (
         "every WORKLOADS/POLICIES/FLOORPLANS/SOLVER_BACKENDS/"
-        "EMULATION_BACKENDS/ANALYSIS_RULES entry is exercised by a "
-        "test and mentioned in docs"
+        "EMULATION_BACKENDS/ANALYSIS_RULES/OBS_METRICS/OBS_SPANS entry "
+        "is exercised by a test and mentioned in docs"
     )
 
     def finish(self, project: Project) -> Iterable[Finding]:

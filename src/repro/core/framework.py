@@ -18,6 +18,8 @@ from repro.core.stats import ThermalTrace, TraceSample
 from repro.core.vpcm import FREEZE_ETHERNET, Vpcm
 from repro.emulation.backends import make_emulation_backend
 from repro.emulation.ethernet import EthernetLink
+from repro.obs import catalog as obs_catalog
+from repro.obs import tracing as obs_tracing
 from repro.policy.builtin import NoManagementPolicy
 from repro.power.models import PowerModel, make_tech_node
 from repro.thermal.backends import make_backend
@@ -341,11 +343,16 @@ class EmulationFramework:
         self.workload = workload
         self.trace = ThermalTrace()
         self.windows = 0
-        # Per-phase wall-time accumulators (seconds); the solve slot is
+        # Per-phase wall-time accumulators (seconds); "other" is the
+        # per-window residual (sensors, policy, bookkeeping) so the five
+        # shares sum to step_window's wall time.  The solve slot is
         # filled by step_window — batched sweeps solve outside the
-        # framework, so it stays 0.0 there by design.
+        # framework, so solve and other stay 0.0 there by design.
         self.timing = {"emulate": 0.0, "power": 0.0, "dispatch": 0.0,
-                       "solve": 0.0}
+                       "solve": 0.0, "other": 0.0}
+        # High-water marks of what report() already pushed into the
+        # metrics registry, so repeated reports never double count.
+        self._published = {"windows": 0, "timing": {}, "solver": {}}
         self.stall_windows = 0  # consecutive zero-progress windows
         self._stall_bound_hit = False  # a bounds check tripped on stalling
         # Per-window capture hooks (repro.trace records the dispatcher
@@ -367,12 +374,32 @@ class EmulationFramework:
     # -- the closed loop ---------------------------------------------------------
     def step_window(self):
         """Run exactly one sampling window of the co-emulation loop."""
+        tracer = obs_tracing.ACTIVE
+        timing = self.timing
+        t_start = time.perf_counter()
+        base_emulate = timing["emulate"]
+        base_power = timing["power"]
+        base_dispatch = timing["dispatch"]
         powers, frequency = self._window_power()
         # 4. The SW thermal tool integrates one sampling period.
         t0 = time.perf_counter()
         self.solver.step_be(self.config.sampling_period_s)
-        self.timing["solve"] += time.perf_counter() - t0
-        return self._window_commit(powers, frequency)
+        d_solve = time.perf_counter() - t0
+        timing["solve"] += d_solve
+        sample = self._window_commit(powers, frequency)
+        d_emulate = timing["emulate"] - base_emulate
+        d_power = timing["power"] - base_power
+        d_dispatch = timing["dispatch"] - base_dispatch
+        spent = d_emulate + d_power + d_dispatch + d_solve
+        d_other = max(0.0, time.perf_counter() - t_start - spent)
+        timing["other"] += d_other
+        if tracer is not None:
+            tracer.emit("window.emulate", d_emulate)
+            tracer.emit("window.power", d_power)
+            tracer.emit("window.dispatch", d_dispatch)
+            tracer.emit("window.solve", d_solve)
+            tracer.emit("window.other", d_other)
+        return sample
 
     def _window_power(self):
         """Phases 1-3 of a window: emulate, convert to power, dispatch.
@@ -524,13 +551,66 @@ class EmulationFramework:
         windows instead of spinning forever, and the returned report
         carries ``stalled=True``.
         """
-        while not self.bounds_reached(
-            max_emulated_seconds, max_windows, max_stall_windows
-        ):
-            self.step_window()
+        tracer = obs_tracing.ACTIVE
+        if tracer is None:
+            while not self.bounds_reached(
+                max_emulated_seconds, max_windows, max_stall_windows
+            ):
+                self.step_window()
+            return self.report()
+        with tracer.span(
+            "run", backend=self.emulation_backend or "custom"
+        ) as span:
+            while not self.bounds_reached(
+                max_emulated_seconds, max_windows, max_stall_windows
+            ):
+                self.step_window()
+            span.set(
+                windows=self.windows,
+                emulated_s=self.vpcm.emulated_seconds,
+            )
         return self.report()
 
+    def _publish_metrics(self):
+        """Push run/solver counters into the default metrics registry.
+
+        Publishes the *delta* since the last publish, so repeated
+        ``report()`` calls on a long-lived framework never double
+        count.  Runs at report time, not per window: the hot loop
+        stays metrics-free."""
+        published = self._published
+        delta_windows = self.windows - published["windows"]
+        if delta_windows > 0:
+            obs_catalog.counter("repro_run_windows_total").inc(delta_windows)
+        published["windows"] = self.windows
+        phase_seconds = obs_catalog.counter(
+            "repro_run_phase_seconds_total", labels=("phase",)
+        )
+        for phase, wall in self.timing.items():
+            delta = wall - published["timing"].get(phase, 0.0)
+            if delta > 0:
+                phase_seconds.labels(phase=phase).inc(delta)
+            published["timing"][phase] = wall
+        stats = self.solver.backend.stats()
+        backend = self.solver.backend.name or "custom"
+        factorizations = stats.get("factorizations", 0)
+        solves = stats.get("solves", 0)
+        for metric, key, value in (
+            ("repro_solver_factorizations_total", "factorizations",
+             factorizations),
+            ("repro_solver_solves_total", "solves", solves),
+            ("repro_solver_reuses_total", "reuses",
+             max(0, solves - factorizations)),
+        ):
+            delta = value - published["solver"].get(key, 0)
+            if delta > 0:
+                obs_catalog.counter(metric, labels=("backend",)).labels(
+                    backend=backend
+                ).inc(delta)
+            published["solver"][key] = value
+
     def report(self):
+        self._publish_metrics()
         extras = {
             "thermal_cells": self.network.num_cells,
             "emulation_backend": self.emulation_backend,

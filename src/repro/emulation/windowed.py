@@ -54,6 +54,7 @@ performance/power model, not a functional simulator.  Use the
 import copy
 import hashlib
 import json
+import time
 
 import numpy as np
 
@@ -330,11 +331,25 @@ class WindowedCalibration:
 
 def calibration_for(platform, max_instructions=50_000_000):
     """Fetch (or measure and cache) the calibration for ``platform``."""
+    from repro.obs import catalog as obs_catalog
+    from repro.obs import tracing as obs_tracing
+
     digest = platform_content_digest(platform)
     calibration = _CALIBRATIONS.get(digest)
     if calibration is None:
+        obs_catalog.counter("repro_emulation_calibration_misses_total").inc()
+        tracer = obs_tracing.ACTIVE
+        t0 = time.perf_counter()
         calibration = WindowedCalibration(platform, max_instructions)
+        if tracer is not None:
+            tracer.emit(
+                "emulation.calibrate",
+                time.perf_counter() - t0,
+                digest=digest[:12],
+            )
         _CALIBRATIONS[digest] = calibration
+    else:
+        obs_catalog.counter("repro_emulation_calibration_hits_total").inc()
     return calibration
 
 

@@ -190,8 +190,24 @@ def _status(args):
 
 
 def _workers(args):
+    import time
+
     target = _target(args)
     rows = target.workers()
+    # Current job per worker, so the listing answers "what is it doing"
+    # without a separate `farm status` cross-reference.
+    running = {
+        job.worker: job.job_id
+        for job in target.jobs("running")
+        if job.worker
+    }
+    now = time.time()
+    for record in rows:
+        beat = record.get("heartbeat_at") or record.get("registered_at")
+        record["last_heartbeat_age_s"] = (
+            round(max(0.0, now - beat), 3) if beat is not None else None
+        )
+        record["current_job"] = running.get(record["worker"])
     if args.as_json:
         print(json.dumps(rows, indent=2))
         return 0
@@ -200,9 +216,13 @@ def _workers(args):
         return 0
     for record in rows:
         capabilities = ",".join(record.get("capabilities") or ()) or "-"
+        age = record["last_heartbeat_age_s"]
+        age_text = f"{age:.1f}s ago" if age is not None else "never"
         print(
             f"{record['worker']:20s} caps={capabilities:20s} "
-            f"done={record.get('jobs_done', 0)}"
+            f"done={record.get('jobs_done', 0):<4d} "
+            f"beat={age_text:12s} "
+            f"job={record['current_job'] or '-'}"
         )
     return 0
 

@@ -1,0 +1,123 @@
+"""Scrape-time farm gauges computed from the on-disk queue.
+
+The queue's in-process counters (claims, retries, requeues, claim
+latency — recorded where the transitions happen in
+:mod:`repro.farm.queue`) only see transitions made *by this process*.
+A farm is multi-process by design: ``LocalFarm`` workers claim against
+the shared directory, remote workers claim through the HTTP service.
+So the service's ``GET /metrics`` endpoint calls
+:func:`refresh_queue_metrics` right before rendering, which derives the
+fleet-wide truth — job states, queue depth, worker heartbeat ages,
+replay dedup — from the job and worker records on disk, where every
+process' transitions land.
+
+Gauges only: these are snapshots of current state, recomputed per
+scrape, never accumulated.
+"""
+
+import time
+
+from repro.farm.jobs import DONE, RUNNING, SUBMITTED
+from repro.obs import catalog as obs_catalog
+from repro.obs import metrics as obs_metrics
+
+
+def _done_job_mode(job):
+    """``"replayed"`` / ``"emulated"`` / ``None`` for one DONE job,
+    from the provenance the worker stamped into the stored result."""
+    result = job.result or {}
+    report = result.get("report") or {}
+    extras = report.get("extras") or {}
+    farm = extras.get("farm") or {}
+    mode = farm.get("mode")
+    if mode in ("replayed", "emulated"):
+        return mode
+    if "replay" in extras:
+        return "replayed"
+    return None
+
+
+def refresh_queue_metrics(queue, registry=None, now=None):
+    """Recompute every farm gauge from ``queue``'s on-disk records.
+
+    Returns the metrics registry the gauges were written into (the
+    process-wide default unless ``registry`` is given).
+    """
+    now = time.time() if now is None else now
+    jobs = queue.jobs()
+
+    # Pre-declare the in-process transition counters so their HELP/TYPE
+    # lines appear in the exposition even before the first increment (a
+    # scraper should see the full farm surface from scrape one).
+    obs_catalog.counter("repro_farm_retries_total", registry=registry).inc(0)
+    obs_catalog.counter("repro_farm_requeues_total", registry=registry).inc(0)
+    obs_catalog.counter(
+        "repro_farm_claims_total", labels=("outcome",), registry=registry
+    )
+    obs_catalog.histogram(
+        "repro_farm_claim_latency_seconds", registry=registry
+    )
+
+    jobs_gauge = obs_catalog.gauge(
+        "repro_farm_jobs", labels=("state",), registry=registry
+    )
+    counts = queue.counts()
+    for state, count in counts.items():
+        jobs_gauge.labels(state=state).set(count)
+
+    depth = sum(
+        1 for job in jobs
+        if job.state == SUBMITTED and job.not_before <= now
+    )
+    obs_catalog.gauge("repro_farm_queue_depth", registry=registry).set(depth)
+    obs_catalog.gauge("repro_farm_job_attempts", registry=registry).set(
+        sum(job.attempts for job in jobs)
+    )
+
+    workers = queue.workers()
+    obs_catalog.gauge("repro_farm_workers", registry=registry).set(
+        len(workers)
+    )
+    heartbeat_age = obs_catalog.gauge(
+        "repro_farm_worker_heartbeat_age_seconds", labels=("worker",),
+        registry=registry,
+    )
+    for record in workers:
+        beat = record.get("heartbeat_at") or record.get("registered_at")
+        if beat is not None:
+            heartbeat_age.labels(worker=record["worker"]).set(
+                max(0.0, now - beat)
+            )
+
+    replayed = emulated = 0
+    for job in jobs:
+        if job.state != DONE:
+            continue
+        mode = _done_job_mode(job)
+        if mode == "replayed":
+            replayed += 1
+        elif mode == "emulated":
+            emulated += 1
+    obs_catalog.gauge("repro_farm_replayed_jobs", registry=registry).set(
+        replayed
+    )
+    obs_catalog.gauge("repro_farm_emulated_jobs", registry=registry).set(
+        emulated
+    )
+    judged = replayed + emulated
+    obs_catalog.gauge("repro_farm_store_hit_ratio", registry=registry).set(
+        replayed / judged if judged else 0.0
+    )
+    return registry if registry is not None else obs_metrics.REGISTRY
+
+
+def stale_running(queue, now=None):
+    """RUNNING jobs whose heartbeat has outlived the queue timeout —
+    diagnostics for the CLI, no metrics side effects."""
+    now = time.time() if now is None else now
+    rows = []
+    for job in queue.jobs(RUNNING):
+        beat = job.heartbeat_at or job.started_at or job.submitted_at
+        if beat + queue.heartbeat_timeout <= now:
+            rows.append(job.job_id)
+    return rows

@@ -53,6 +53,7 @@ from repro.farm.jobs import (
     Job,
     job_id_for,
 )
+from repro.obs import catalog as obs_catalog
 from repro.util.locking import FileLock, atomic_write_json
 
 #: Default queue directory used by the ``python -m repro farm`` CLI.
@@ -190,6 +191,10 @@ class JobQueue:
                 job.requeues += 1
                 self._save(job)
                 requeued.append(job.job_id)
+        if requeued:
+            obs_catalog.counter("repro_farm_requeues_total").inc(
+                len(requeued)
+            )
         return requeued
 
     def claim(self, worker, capabilities=None, now=None):
@@ -217,7 +222,17 @@ class JobQueue:
                 job.worker = worker
                 job.started_at = now
                 job.heartbeat_at = now
-                return self._save(job)
+                self._save(job)
+                obs_catalog.counter(
+                    "repro_farm_claims_total", labels=("outcome",)
+                ).labels(outcome="job").inc()
+                obs_catalog.histogram(
+                    "repro_farm_claim_latency_seconds"
+                ).observe(max(0.0, now - job.submitted_at))
+                return job
+        obs_catalog.counter(
+            "repro_farm_claims_total", labels=("outcome",)
+        ).labels(outcome="empty").inc()
         return None
 
     def heartbeat(self, job_id, worker, now=None):
@@ -295,6 +310,7 @@ class JobQueue:
                 job.not_before = (
                     now + job.retry_backoff_s * 2 ** (job.attempts - 1)
                 )
+                obs_catalog.counter("repro_farm_retries_total").inc()
             return self._save(job)
 
     # -- worker registry ---------------------------------------------------

@@ -9,6 +9,7 @@ to the farm without importing it.  Scenarios travel as their lossless
 ============================  ==========================================
 Route                         Meaning
 ============================  ==========================================
+``GET  /metrics``             Prometheus text (see docs/observability.md)
 ``GET  /api/status``          queue counts, worker count, store size
 ``GET  /api/jobs[?state=s]``  every job record (optionally one state)
 ``GET  /api/jobs/<id>``       one full job record
@@ -92,7 +93,33 @@ class _FarmRequestHandler(BaseHTTPRequestHandler):
 
     # -- verbs -------------------------------------------------------------
     def do_GET(self):  # noqa: N802 - stdlib naming
+        if self.path.partition("?")[0] == "/metrics":
+            # Prometheus text, not JSON — served outside _dispatch.
+            self._metrics()
+            return
         self._dispatch(lambda: self._get(self.path))
+
+    def _metrics(self):
+        """``GET /metrics``: Prometheus text exposition of the default
+        registry, with the farm gauges recomputed from the on-disk
+        queue right before rendering (so other processes' workers and
+        claims are visible)."""
+        try:
+            from repro.farm.metrics import refresh_queue_metrics
+
+            registry = refresh_queue_metrics(self.queue)
+            body = registry.render_prometheus().encode("utf-8")
+            status = 200
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        except Exception as exc:  # surface, don't kill the server thread
+            body = f"# metrics unavailable: {exc}\n".encode("utf-8")
+            status = 500
+            content_type = "text/plain; charset=utf-8"
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
 
     def do_POST(self):  # noqa: N802 - stdlib naming
         self._dispatch(lambda: self._post(self.path, self._payload()))

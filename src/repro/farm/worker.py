@@ -115,16 +115,30 @@ class FarmWorker:
         return self.jobs_done
 
     def run_one(self, job):
-        """Execute one claimed job and report its outcome to the queue."""
+        """Execute one claimed job and report its outcome to the queue.
+
+        The job runs under a fresh per-job :class:`SpanTracer`, so the
+        report's ``extras["farm"]["spans"]`` carries the job's own span
+        summary (the ``farm.job`` span plus the nested runner/window
+        spans) without mixing in other jobs on the same worker.
+        """
+        from repro.obs import tracing as obs_tracing
+        from repro.obs.timeline import RunTimeline
         from repro.scenario.runner import Runner
 
         self.log(f"{self.worker_id}: running {job.job_id} ({job.name})")
         beat = _Heartbeat(self.queue, job.job_id, self.worker_id,
                           self.heartbeat_s)
         beat.start()
+        tracer = obs_tracing.SpanTracer()
         try:
-            runner = Runner(trace_store=self.store)
-            [result] = runner.run([job.scenario])
+            with obs_tracing.activate(tracer):
+                with tracer.span(
+                    "farm.job", job_id=job.job_id,
+                    worker=self.worker_id, attempt=job.attempts + 1,
+                ):
+                    runner = Runner(trace_store=self.store)
+                    [result] = runner.run([job.scenario])
         except Exception as exc:  # queue/store plumbing, not the scenario
             import traceback as traceback_module
 
@@ -147,6 +161,9 @@ class FarmWorker:
             ))
             return result
         result.report.extras["farm"] = self._provenance(job, result)
+        result.report.extras["farm"]["spans"] = RunTimeline.from_events(
+            tracer.events
+        ).summary()
         self._report(job.job_id, lambda: self.queue.complete(
             job.job_id, result.to_dict(), worker=self.worker_id
         ))

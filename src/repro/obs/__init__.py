@@ -1,0 +1,53 @@
+"""repro.obs — unified metrics, tracing, and profiling layer.
+
+Three pieces, all stdlib-only:
+
+* :mod:`repro.obs.metrics` — Counter/Gauge/Histogram families with
+  labels, a process-wide default :data:`~repro.obs.metrics.REGISTRY`,
+  and Prometheus-text / JSON exporters.
+* :mod:`repro.obs.tracing` — ``span(name, **attrs)`` context manager
+  producing a JSONL event log; off by default (the hot paths check
+  :func:`~repro.obs.tracing.current` and skip all work when no tracer
+  is active).
+* :mod:`repro.obs.timeline` — :class:`~repro.obs.timeline.RunTimeline`
+  folds a span log into the per-phase summary that backs
+  ``RunReport.extras["timing"]``, the ``obs timeline`` CLI, and the
+  ``obs_overview`` report artifact.
+
+:mod:`repro.obs.catalog` is the single source of truth for metric and
+span names; the ``registry-coverage`` lint rule holds every cataloged
+name to the same tested-and-documented bar as workloads and solver
+backends.  See ``docs/observability.md``.
+"""
+
+from repro.obs.catalog import OBS_METRICS, OBS_SPANS, metric_names, span_names
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+    REGISTRY,
+    default_registry,
+)
+from repro.obs.timeline import RunTimeline
+from repro.obs.tracing import SpanTracer, activate, current, trace_to
+
+__all__ = [
+    "OBS_METRICS",
+    "OBS_SPANS",
+    "metric_names",
+    "span_names",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricError",
+    "MetricsRegistry",
+    "REGISTRY",
+    "default_registry",
+    "RunTimeline",
+    "SpanTracer",
+    "activate",
+    "current",
+    "trace_to",
+]

@@ -33,8 +33,13 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.framework import RunReport
+from repro.obs import catalog as obs_catalog
+from repro.obs import tracing as obs_tracing
 from repro.scenario.spec import Scenario
 from repro.thermal.backends import BatchedLU
+
+#: Scenarios-per-batch histogram buckets (counts, not seconds).
+BATCH_SIZE_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256)
 
 
 @dataclass
@@ -229,6 +234,49 @@ class Runner:
                 traceback=traceback_module.format_exc(),
             )
 
+    # -- observability ---------------------------------------------------------
+    def _observe_batch(self, results, wall_s, kind):
+        """Record one finished batch into the metrics registry (and the
+        active tracer, when any): batch size, per-scenario modes, and —
+        for pooled batches — worker utilization."""
+        if not results:
+            return
+        obs_catalog.counter("repro_runner_batches_total").inc()
+        obs_catalog.histogram(
+            "repro_runner_batch_size", buckets=BATCH_SIZE_BUCKETS
+        ).observe(len(results))
+        scenarios_total = obs_catalog.counter(
+            "repro_runner_scenarios_total", labels=("mode",)
+        )
+        modes = {}
+        for result in results:
+            mode = (
+                "failed" if not result.ok
+                else "replayed" if result.replayed
+                else "emulated"
+            )
+            modes[mode] = modes.get(mode, 0) + 1
+        for mode, count in modes.items():
+            scenarios_total.labels(mode=mode).inc(count)
+        workers_used = max(1, min(self.workers, len(results)))
+        if wall_s > 0:
+            busy_s = sum(r.wall_seconds for r in results)
+            obs_catalog.gauge("repro_runner_worker_utilization_ratio").set(
+                min(1.0, busy_s / (workers_used * wall_s))
+            )
+        tracer = obs_tracing.ACTIVE
+        if tracer is not None:
+            for result in results:
+                tracer.emit(
+                    "runner.scenario", result.wall_seconds,
+                    scenario=result.name, status=result.status,
+                    replayed=result.replayed,
+                )
+            tracer.emit(
+                "runner.batch", wall_s, kind=kind,
+                scenarios=len(results), workers=workers_used,
+            )
+
     # -- plain batches ---------------------------------------------------------
     def run(self, scenarios):
         """Run every scenario; returns ``list[ScenarioResult]`` in input
@@ -241,6 +289,12 @@ class Runner:
         leader's fresh recording — so a 16-variant thermal sweep costs
         one emulation plus 16 thermal solves, not 16 emulations.
         """
+        start = time.perf_counter()
+        results = self._run(scenarios)
+        self._observe_batch(results, time.perf_counter() - start, "run")
+        return results
+
+    def _run(self, scenarios):
         dicts = [
             self._scenario_dict(item, index)
             for index, item in enumerate(scenarios)
@@ -357,6 +411,12 @@ class Runner:
         failure while co-stepping marks every unfinished member of that
         group as failed.
         """
+        start = time.perf_counter()
+        results = self._run_batched(scenarios, library=library)
+        self._observe_batch(results, time.perf_counter() - start, "batched")
+        return results
+
+    def _run_batched(self, scenarios, library=None):
         scenarios = list(scenarios)
         results = [None] * len(scenarios)
         store = self.trace_store

@@ -44,6 +44,7 @@ import hashlib
 import json
 import pathlib
 
+from repro.obs import catalog as obs_catalog
 from repro.trace.format import load_archive, sidecar_path
 from repro.util.locking import FileLock, atomic_write_json
 
@@ -209,11 +210,15 @@ class TraceStore:
         if not digest:
             return None
         if self.in_memory:
-            return self._memory.get(digest)
-        path = self.path_for(digest)
-        if not path.is_file():
-            return None
-        return load_archive(path)
+            archive = self._memory.get(digest)
+        else:
+            path = self.path_for(digest)
+            archive = load_archive(path) if path.is_file() else None
+        obs_catalog.counter(
+            "repro_store_hits_total" if archive is not None
+            else "repro_store_misses_total"
+        ).inc()
+        return archive
 
     def get_for(self, scenario):
         """Store lookup by scenario (the runner's entry point)."""
@@ -236,6 +241,7 @@ class TraceStore:
         else:
             archive.save(self.path_for(digest))
             self._index_add(digest, dict(archive.metadata))
+        obs_catalog.counter("repro_store_puts_total").inc()
         return digest
 
     # -- enumeration -------------------------------------------------------

@@ -4,3 +4,8 @@
 
 def test_covered_widget_resolves():
     assert "covered_widget"
+
+
+def test_covered_obs_names_resolve():
+    assert "covered_metric_total"
+    assert "covered.span"

@@ -1,0 +1,10 @@
+# relpath: src/repro/obs/catalog.py
+"""Catalogs a metric and a span that tests and docs both reference."""
+
+from repro.util.registry import Registry
+
+OBS_METRICS = Registry("obs metric")
+OBS_SPANS = Registry("obs span")
+
+OBS_METRICS.register("covered_metric_total", "documented and tested")
+OBS_SPANS.register("covered.span", "documented and tested")

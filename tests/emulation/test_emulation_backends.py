@@ -233,7 +233,7 @@ def test_calibration_is_cached_per_platform_content():
 def test_timing_breakdown_in_report_extras(backend_runs):
     report, _ = backend_runs["event_driven"]
     timing = report.extras["timing"]
-    assert set(timing) == {"emulate", "power", "dispatch", "solve"}
+    assert set(timing) == {"emulate", "power", "dispatch", "solve", "other"}
     assert timing["emulate"] > 0.0
     assert timing["power"] > 0.0
     assert timing["solve"] > 0.0

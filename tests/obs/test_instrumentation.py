@@ -1,0 +1,173 @@
+"""Hot-path instrumentation: spans, timing sums, counter publishing."""
+
+import pytest
+
+from repro.emulation.windowed import clear_calibration_cache
+from repro.obs import catalog as obs_catalog
+from repro.obs import tracing as obs_tracing
+from repro.obs.timeline import PHASE_ORDER, RunTimeline
+from repro.obs.tracing import SpanTracer
+from repro.scenario.presets import PRESETS
+from repro.trace.store import TraceStore
+
+
+def quick_framework(backend="event_driven"):
+    scenario = PRESETS.get("matrix_quickstart")()
+    scenario.workload.params["iterations"] = 2
+    scenario.config.sampling_period_s = 2e-5
+    scenario.config.emulation_backend = backend
+    return scenario.build()
+
+
+def counter_value(name, **labels):
+    family = obs_catalog.counter(
+        name, labels=tuple(sorted(labels)) if labels else ()
+    )
+    return family.labels(**labels).value if labels else family.value
+
+
+# -- framework spans -------------------------------------------------------
+
+
+def test_run_emits_run_and_window_spans():
+    framework = quick_framework()
+    tracer = SpanTracer()
+    with obs_tracing.activate(tracer):
+        report = framework.run(max_windows=8)
+    timeline = RunTimeline.from_events(tracer.events)
+    run_stats = timeline.by_name["run"]
+    assert run_stats["count"] == 1
+    for phase in PHASE_ORDER:
+        assert timeline.by_name["window." + phase]["count"] == report.windows
+    run_event = next(e for e in tracer.events if e["name"] == "run")
+    assert run_event["attrs"]["windows"] == report.windows
+    assert run_event["attrs"]["backend"] == "event_driven"
+    # The span log reconstructs the report's timing breakdown.
+    timing = report.extras["timing"]
+    for phase, wall in timeline.to_timing().items():
+        assert wall == pytest.approx(timing[phase], abs=1e-6)
+
+
+def test_timing_phases_cover_window_wall_time():
+    framework = quick_framework()
+    report = framework.run(max_windows=8)
+    timing = report.extras["timing"]
+    assert set(timing) == set(PHASE_ORDER)
+    assert all(wall >= 0.0 for wall in timing.values())
+    assert timing["other"] > 0.0  # sensors/policy residual is never free
+
+
+def test_untraced_run_records_no_spans():
+    assert obs_tracing.current() is None
+    framework = quick_framework()
+    framework.run(max_windows=4)  # must not raise, must not trace
+
+
+# -- metric publishing -----------------------------------------------------
+
+
+def test_publish_metrics_counts_each_window_once():
+    framework = quick_framework()
+    windows_before = counter_value("repro_run_windows_total")
+    report = framework.run(max_windows=6)
+    assert (
+        counter_value("repro_run_windows_total") - windows_before
+        == report.windows
+    )
+    # report() again without new windows: nothing double counted.
+    framework.report()
+    assert (
+        counter_value("repro_run_windows_total") - windows_before
+        == report.windows
+    )
+    # More windows publish only the delta.
+    framework.step_window()
+    framework.report()
+    assert (
+        counter_value("repro_run_windows_total") - windows_before
+        == report.windows + 1
+    )
+
+
+def test_publish_metrics_covers_phases_and_solver():
+    framework = quick_framework()
+    backend = framework.solver.backend.name or "custom"
+    solve_before = counter_value(
+        "repro_run_phase_seconds_total", phase="solve"
+    )
+    solves_before = counter_value(
+        "repro_solver_solves_total", backend=backend
+    )
+    report = framework.run(max_windows=6)
+    solve_delta = (
+        counter_value("repro_run_phase_seconds_total", phase="solve")
+        - solve_before
+    )
+    assert solve_delta == pytest.approx(
+        report.extras["timing"]["solve"], abs=1e-9
+    )
+    assert (
+        counter_value("repro_solver_solves_total", backend=backend)
+        - solves_before
+        == framework.solver.backend.stats()["solves"]
+    )
+
+
+# -- trace store counters --------------------------------------------------
+
+
+class _StubArchive:
+    scenario_digest = "a" * 64
+
+    def validate(self):
+        pass
+
+
+def test_store_counts_hits_misses_and_puts():
+    store = TraceStore()
+    hits0 = counter_value("repro_store_hits_total")
+    misses0 = counter_value("repro_store_misses_total")
+    puts0 = counter_value("repro_store_puts_total")
+    assert store.get("f" * 64) is None
+    archive = _StubArchive()
+    store.put(archive)
+    assert store.get(archive.scenario_digest) is archive
+    # A falsy digest is a caller error, not a store lookup: uncounted.
+    assert store.get("") is None
+    assert counter_value("repro_store_hits_total") - hits0 == 1
+    assert counter_value("repro_store_misses_total") - misses0 == 1
+    assert counter_value("repro_store_puts_total") - puts0 == 1
+
+
+# -- calibration cache counters --------------------------------------------
+
+
+def test_windowed_calibration_counts_miss_then_hits():
+    clear_calibration_cache()
+    misses0 = counter_value("repro_emulation_calibration_misses_total")
+    hits0 = counter_value("repro_emulation_calibration_hits_total")
+    quick_framework("windowed").run(max_windows=4)
+    assert (
+        counter_value("repro_emulation_calibration_misses_total") - misses0
+        == 1
+    )
+    quick_framework("windowed").run(max_windows=4)
+    assert (
+        counter_value("repro_emulation_calibration_hits_total") - hits0 == 1
+    )
+    assert (
+        counter_value("repro_emulation_calibration_misses_total") - misses0
+        == 1
+    )
+
+
+def test_calibration_miss_emits_span_when_tracing():
+    clear_calibration_cache()
+    tracer = SpanTracer()
+    with obs_tracing.activate(tracer):
+        quick_framework("windowed").run(max_windows=2)
+    calibrations = [
+        e for e in tracer.events if e["name"] == "emulation.calibrate"
+    ]
+    assert len(calibrations) == 1
+    assert calibrations[0]["attrs"]["digest"]

@@ -1,0 +1,189 @@
+"""Metrics primitives: families, labels, cardinality, exporters."""
+
+import json
+import math
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    MetricError,
+    MetricsRegistry,
+    escape_help,
+    escape_label_value,
+)
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+# -- counters / gauges ------------------------------------------------------
+
+
+def test_counter_accumulates(registry):
+    counter = registry.counter("events_total")
+    counter.inc()
+    counter.inc(2.5)
+    assert counter.value == 3.5
+
+
+def test_counter_rejects_negative_increments(registry):
+    counter = registry.counter("events_total")
+    with pytest.raises(MetricError):
+        counter.inc(-1)
+
+
+def test_gauge_set_inc_dec(registry):
+    gauge = registry.gauge("depth")
+    gauge.set(5)
+    gauge.inc(2)
+    gauge.dec(3)
+    assert gauge.value == 4.0
+
+
+def test_redeclaration_is_idempotent(registry):
+    assert registry.counter("events_total") is registry.counter(
+        "events_total"
+    )
+
+
+def test_kind_conflict_raises(registry):
+    registry.counter("events_total")
+    with pytest.raises(MetricError):
+        registry.gauge("events_total")
+
+
+def test_label_set_conflict_raises(registry):
+    registry.counter("events_total", labels=("mode",))
+    with pytest.raises(MetricError):
+        registry.counter("events_total", labels=("kind",))
+
+
+def test_invalid_metric_and_label_names(registry):
+    with pytest.raises(MetricError):
+        registry.counter("bad-name")
+    with pytest.raises(MetricError):
+        registry.counter("ok_name", labels=("bad-label",))
+
+
+# -- labels and cardinality -------------------------------------------------
+
+
+def test_labeled_series_are_independent(registry):
+    family = registry.counter("events_total", labels=("mode",))
+    family.labels(mode="a").inc()
+    family.labels(mode="b").inc(2)
+    assert family.labels(mode="a").value == 1.0
+    assert family.labels(mode="b").value == 2.0
+    assert family.value == 3.0  # family value sums its series
+
+
+def test_labels_must_match_declaration(registry):
+    family = registry.counter("events_total", labels=("mode",))
+    with pytest.raises(MetricError):
+        family.labels(kind="a")
+    with pytest.raises(MetricError):
+        family.labels()
+
+
+def test_unlabeled_use_of_labeled_family_raises(registry):
+    family = registry.counter("events_total", labels=("mode",))
+    with pytest.raises(MetricError):
+        family.inc()
+
+
+def test_label_cardinality_cap():
+    registry = MetricsRegistry(max_series_per_family=3)
+    family = registry.counter("events_total", labels=("job",))
+    for i in range(3):
+        family.labels(job=f"job{i}").inc()
+    with pytest.raises(MetricError, match="series cap"):
+        family.labels(job="one-too-many")
+    # Existing series keep working past the cap.
+    family.labels(job="job0").inc()
+    assert family.labels(job="job0").value == 2.0
+
+
+# -- histograms -------------------------------------------------------------
+
+
+def test_histogram_bucket_boundaries(registry):
+    histogram = registry.histogram("latency", buckets=(0.1, 1.0, 10.0))
+    # A value exactly on a bound lands in that bucket (le semantics).
+    for value in (0.05, 0.1, 0.5, 1.0, 5.0, 100.0):
+        histogram.observe(value)
+    series = histogram.labels()
+    assert series.counts == [2, 2, 1, 1]  # per-bucket, +Inf last
+    assert series.cumulative() == [
+        (0.1, 2), (1.0, 4), (10.0, 5), (math.inf, 6),
+    ]
+    assert series.count == 6
+    assert series.sum == pytest.approx(106.65)
+
+
+def test_histogram_default_buckets_are_increasing():
+    assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+
+def test_histogram_rejects_bad_buckets(registry):
+    with pytest.raises(MetricError):
+        registry.histogram("latency", buckets=())
+    with pytest.raises(MetricError):
+        registry.histogram("latency2", buckets=(1.0, 1.0))
+    with pytest.raises(MetricError):
+        registry.histogram("latency3", buckets=(2.0, 1.0))
+
+
+# -- Prometheus exposition --------------------------------------------------
+
+
+def test_prometheus_escaping():
+    assert escape_help("a\\b\nc") == "a\\\\b\\nc"
+    assert escape_label_value('say "hi"\\\n') == 'say \\"hi\\"\\\\\\n'
+
+
+def test_render_prometheus_escapes_label_values(registry):
+    family = registry.counter(
+        "events_total", help_text="counts\nthings", labels=("name",)
+    )
+    family.labels(name='we"ird\\label\n').inc()
+    text = registry.render_prometheus()
+    assert "# HELP events_total counts\\nthings" in text
+    assert "# TYPE events_total counter" in text
+    assert r'events_total{name="we\"ird\\label\n"} 1.0' in text
+
+
+def test_render_prometheus_histogram_shape(registry):
+    histogram = registry.histogram("latency", buckets=(0.5, 2.0))
+    histogram.observe(0.1)
+    histogram.observe(3.0)
+    text = registry.render_prometheus()
+    assert 'latency_bucket{le="0.5"} 1' in text
+    assert 'latency_bucket{le="2"} 1' in text
+    assert 'latency_bucket{le="+Inf"} 2' in text
+    assert "latency_sum 3.1" in text
+    assert "latency_count 2" in text
+
+
+# -- JSON export and reset --------------------------------------------------
+
+
+def test_to_json_round_trips_through_json(registry):
+    family = registry.counter("events_total", labels=("mode",))
+    family.labels(mode="a").inc()
+    histogram = registry.histogram("latency", buckets=(1.0,))
+    histogram.observe(0.5)
+    snapshot = json.loads(registry.dump_json())
+    assert snapshot["events_total"]["kind"] == "counter"
+    assert snapshot["events_total"]["series"][0]["labels"] == {"mode": "a"}
+    assert snapshot["latency"]["series"][0]["count"] == 1
+
+
+def test_reset_zeroes_series_but_keeps_declarations(registry):
+    family = registry.counter("events_total", labels=("mode",))
+    family.labels(mode="a").inc()
+    registry.reset()
+    assert registry.get("events_total") is family
+    assert family.value == 0.0

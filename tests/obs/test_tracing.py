@@ -1,0 +1,113 @@
+"""Span tracer: nesting, activation, sinks, fork safety."""
+
+import io
+import json
+import os
+
+import pytest
+
+from repro.obs import tracing
+from repro.obs.tracing import SpanTracer, read_jsonl
+
+
+def test_span_nesting_records_parent_ids():
+    tracer = SpanTracer()
+    with tracer.span("outer"):
+        with tracer.span("inner"):
+            pass
+        with tracer.span("inner"):
+            pass
+    names = [event["name"] for event in tracer.events]
+    assert names == ["inner", "inner", "outer"]  # closed innermost-first
+    outer = tracer.events[-1]
+    assert outer["parent_id"] is None
+    inner_parents = {
+        event["parent_id"] for event in tracer.events[:-1]
+    }
+    assert inner_parents == {outer["span_id"]}
+    ids = [event["span_id"] for event in tracer.events]
+    assert len(set(ids)) == len(ids)
+
+
+def test_span_attrs_and_set():
+    tracer = SpanTracer()
+    with tracer.span("work", backend="functional") as span:
+        span.set(windows=7)
+    event = tracer.events[0]
+    assert event["attrs"] == {"backend": "functional", "windows": 7}
+    assert event["wall_s"] >= 0.0
+    assert event["cpu_s"] >= 0.0
+
+
+def test_emit_records_premeasured_leaf():
+    tracer = SpanTracer()
+    with tracer.span("outer"):
+        tracer.emit("window.solve", 0.25, cpu_s=0.2, windows=1)
+    leaf = tracer.events[0]
+    assert leaf["name"] == "window.solve"
+    assert leaf["wall_s"] == 0.25
+    assert leaf["cpu_s"] == 0.2
+    assert leaf["parent_id"] == tracer.events[1]["span_id"]
+
+
+def test_activate_restores_previous_tracer():
+    assert tracing.current() is None
+    first, second = SpanTracer(), SpanTracer()
+    with tracing.activate(first):
+        assert tracing.current() is first
+        with tracing.activate(second):
+            assert tracing.current() is second
+        assert tracing.current() is first
+    assert tracing.current() is None
+
+
+def test_trace_to_streams_jsonl(tmp_path):
+    log = tmp_path / "run.jsonl"
+    with tracing.trace_to(str(log)) as tracer:
+        assert tracing.current() is tracer
+        with tracer.span("run"):
+            pass
+    events = read_jsonl(str(log))
+    assert [event["name"] for event in events] == ["run"]
+    assert tracing.current() is None
+
+
+def test_path_sink_truncates_between_tracers(tmp_path):
+    log = tmp_path / "run.jsonl"
+    for _ in range(2):
+        with SpanTracer(sink=str(log)) as tracer:
+            with tracer.span("run"):
+                pass
+    assert len(read_jsonl(str(log))) == 1
+
+
+def test_file_object_sink_is_not_closed():
+    sink = io.StringIO()
+    with SpanTracer(sink=sink) as tracer:
+        with tracer.span("run"):
+            pass
+    assert not sink.closed
+    assert json.loads(sink.getvalue())["name"] == "run"
+
+
+def test_forked_tracer_is_noop():
+    tracer = SpanTracer()
+    tracer._pid = os.getpid() + 1  # simulate fork inheritance
+    with tracer.span("child-side") as span:
+        span.set(ignored=True)
+    tracer.emit("child-leaf", 1.0)
+    assert tracer.events == []
+
+
+def test_read_jsonl_accepts_text_and_file_like(tmp_path):
+    tracer = SpanTracer()
+    with tracer.span("run"):
+        pass
+    text = json.dumps(tracer.events[0]) + "\n\n"
+    assert read_jsonl(text)[0]["name"] == "run"
+    assert read_jsonl(io.StringIO(text))[0]["name"] == "run"
+
+
+def test_read_jsonl_rejects_malformed_lines():
+    with pytest.raises(json.JSONDecodeError):
+        read_jsonl('{"name": "run"}\nnot json\n')

@@ -109,15 +109,15 @@ def test_artifact_error_is_captured_not_raised():
 
 def test_all_registered_artifacts():
     assert ARTIFACTS.names() == [
-        "fig3", "fig6", "pareto_front", "policy_comparison",
-        "table1", "table2", "table3",
+        "fig3", "fig6", "obs_overview", "pareto_front",
+        "policy_comparison", "table1", "table2", "table3",
     ]
 
 
 def test_default_order_follows_the_paper():
     assert default_artifact_names() == [
-        "table1", "table2", "table3", "fig3", "fig6", "pareto_front",
-        "policy_comparison",
+        "table1", "table2", "table3", "fig3", "fig6", "obs_overview",
+        "pareto_front", "policy_comparison",
     ]
 
 
